@@ -1,0 +1,295 @@
+package kv3d
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper (regenerating it end to end), microbenchmarks of the functional
+// kvstore, and the ablation benches DESIGN.md calls out (L2 on/off,
+// locking/eviction design, port sharing). Run:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable4 -v
+
+import (
+	"fmt"
+	"testing"
+
+	"kv3d/internal/cache"
+	"kv3d/internal/cpu"
+	"kv3d/internal/experiments"
+	"kv3d/internal/kvstore"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/sim"
+	"kv3d/internal/stackmodel"
+	"kv3d/internal/workload"
+)
+
+// --- one benchmark per table / figure ----------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the component power/area table.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates the memory-technology comparison.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates the 1.5U maximum-configuration table.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates the prior-art comparison and headline
+// ratios.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFigure4 regenerates the GET/PUT breakdown.
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFigure5 regenerates the Mercury-1 DRAM latency sweep.
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFigure6 regenerates the Iridium-1 Flash latency sweep.
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates density-vs-throughput.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates power-vs-throughput.
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkThermal regenerates the §6.5 cooling analysis.
+func BenchmarkThermal(b *testing.B) { benchExperiment(b, "thermal") }
+
+// BenchmarkHotspot regenerates the §3.8 DHT load-balance study.
+func BenchmarkHotspot(b *testing.B) { benchExperiment(b, "hotspot") }
+
+// BenchmarkEndurance regenerates the Iridium flash-lifetime study.
+func BenchmarkEndurance(b *testing.B) { benchExperiment(b, "endurance") }
+
+// BenchmarkAblationSuite regenerates the design-choice ablations.
+func BenchmarkAblationSuite(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkEvictionQuality regenerates the LRU-vs-Bags hit-rate study.
+func BenchmarkEvictionQuality(b *testing.B) { benchExperiment(b, "eviction") }
+
+// BenchmarkLoadLatency regenerates the open-loop load/latency study.
+func BenchmarkLoadLatency(b *testing.B) { benchExperiment(b, "loadlatency") }
+
+// --- functional kvstore microbenchmarks --------------------------------
+
+func newBenchStore(b *testing.B, mode kvstore.ConcurrencyMode, policy kvstore.EvictionPolicy) *kvstore.Store {
+	b.Helper()
+	cfg := kvstore.DefaultConfig(256 << 20)
+	cfg.Mode = mode
+	cfg.Shards = 16
+	cfg.Policy = policy
+	st, err := kvstore.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func preload(b *testing.B, st *kvstore.Store, n int, valueBytes int) []string {
+	b.Helper()
+	keys := make([]string, n)
+	val := make([]byte, valueBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%08d", i)
+		if err := st.Set(keys[i], val, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// BenchmarkStoreGet measures single-threaded GET latency.
+func BenchmarkStoreGet(b *testing.B) {
+	st := newBenchStore(b, kvstore.ModeStriped, kvstore.PolicyLRU)
+	keys := preload(b, st, 65536, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(keys[i&65535]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreGetInto measures the allocation-free read path.
+func BenchmarkStoreGetInto(b *testing.B) {
+	st := newBenchStore(b, kvstore.ModeStriped, kvstore.PolicyLRU)
+	keys := preload(b, st, 65536, 64)
+	buf := make([]byte, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, ok := st.GetInto(buf[:0], keys[i&65535])
+		if !ok {
+			b.Fatal("miss")
+		}
+		buf = out
+	}
+}
+
+// BenchmarkStoreSet measures single-threaded overwrite throughput.
+func BenchmarkStoreSet(b *testing.B) {
+	st := newBenchStore(b, kvstore.ModeStriped, kvstore.PolicyLRU)
+	keys := preload(b, st, 65536, 64)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Set(keys[i&65535], val, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation: locking and eviction design (Table 4 baselines) ----------
+
+// benchContention drives parallel GET-heavy traffic at a store built
+// like each Table 4 baseline: global lock + LRU (memcached 1.4),
+// striped + LRU (1.6), striped + bags (Bags). The relative scaling is
+// the ground truth behind the baseline contention model.
+func benchContention(b *testing.B, mode kvstore.ConcurrencyMode, policy kvstore.EvictionPolicy) {
+	st := newBenchStore(b, mode, policy)
+	keys := preload(b, st, 65536, 64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := sim.NewRand(uint64(b.N))
+		for pb.Next() {
+			i := rng.Intn(65536)
+			if rng.Float64() < 0.9 {
+				st.Get(keys[i])
+			} else {
+				st.Set(keys[i], []byte("updated-value"), 0, 0)
+			}
+		}
+	})
+}
+
+// BenchmarkContentionGlobalLRU is the memcached 1.4 analogue.
+func BenchmarkContentionGlobalLRU(b *testing.B) {
+	benchContention(b, kvstore.ModeGlobal, kvstore.PolicyLRU)
+}
+
+// BenchmarkContentionStripedLRU is the memcached 1.6 analogue.
+func BenchmarkContentionStripedLRU(b *testing.B) {
+	benchContention(b, kvstore.ModeStriped, kvstore.PolicyLRU)
+}
+
+// BenchmarkContentionStripedBags is the Bags analogue.
+func BenchmarkContentionStripedBags(b *testing.B) {
+	benchContention(b, kvstore.ModeStriped, kvstore.PolicyBags)
+}
+
+// --- ablation: stack design choices -------------------------------------
+
+func benchStackTPS(b *testing.B, cfg stackmodel.Config, op stackmodel.Op, size int64) {
+	b.Helper()
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		st, err := stackmodel.NewStack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := st.Measure(op, size, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tps = res.StackTPS
+	}
+	b.ReportMetric(tps, "simTPS")
+}
+
+// BenchmarkAblationL2On / Off quantify §6.2's L2 trade at 10ns DRAM.
+func BenchmarkAblationL2On(b *testing.B) {
+	benchStackTPS(b, stackmodel.Config{
+		Core: cpu.CortexA7(), Cache: cache.L2MB2(),
+		Mem: memmodel.MustDRAM3D(10 * sim.Nanosecond), CoresPerStack: 1,
+	}, stackmodel.Get, 64)
+}
+
+func BenchmarkAblationL2Off(b *testing.B) {
+	benchStackTPS(b, stackmodel.Config{
+		Core: cpu.CortexA7(), Cache: cache.None(),
+		Mem: memmodel.MustDRAM3D(10 * sim.Nanosecond), CoresPerStack: 1,
+	}, stackmodel.Get, 64)
+}
+
+// BenchmarkAblationPortSharing16 vs 32 quantifies the 2-cores-per-port
+// decision (§5.3) under port-heavy 1MB flash streams.
+func BenchmarkAblationPortSharing16(b *testing.B) {
+	benchStackTPS(b, stackmodel.Config{
+		Core: cpu.CortexA7(), Cache: cache.L2MB2(),
+		Mem: memmodel.MustFlash3D(10*sim.Microsecond, 200*sim.Microsecond), CoresPerStack: 16,
+	}, stackmodel.Get, 1<<20)
+}
+
+func BenchmarkAblationPortSharing32(b *testing.B) {
+	benchStackTPS(b, stackmodel.Config{
+		Core: cpu.CortexA7(), Cache: cache.L2MB2(),
+		Mem: memmodel.MustFlash3D(10*sim.Microsecond, 200*sim.Microsecond), CoresPerStack: 32,
+	}, stackmodel.Get, 1<<20)
+}
+
+// BenchmarkSimulatorEventThroughput measures raw kernel speed.
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	s := sim.New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.After(sim.Nanosecond, tick)
+		}
+	}
+	s.After(sim.Nanosecond, tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkFTLWrite measures FTL write-path cost under churn.
+func BenchmarkFTLWrite(b *testing.B) {
+	f, err := memmodel.NewFTL(256, 64, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRand(3)
+	n := f.LogicalPages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Write(rng.Intn(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.WriteAmplification(), "writeAmp")
+}
+
+// BenchmarkZipfSample measures workload generation cost.
+func BenchmarkZipfSample(b *testing.B) {
+	z, err := workload.NewZipf(1.01, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRand(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}
+
+// BenchmarkAccelerator regenerates the GET-engine composition study.
+func BenchmarkAccelerator(b *testing.B) { benchExperiment(b, "accelerator") }
+
+// BenchmarkDiurnal regenerates the energy-proportionality study.
+func BenchmarkDiurnal(b *testing.B) { benchExperiment(b, "diurnal") }
+
+// BenchmarkDRAMSim regenerates the bank-level DRAM validation.
+func BenchmarkDRAMSim(b *testing.B) { benchExperiment(b, "dramsim") }

@@ -1,0 +1,202 @@
+// Command kv3d-client is a load generator and one-shot client for any
+// memcached-compatible server (including kv3d-server).
+//
+// Load generation:
+//
+//	kv3d-client -addr localhost:11211 -load -conns 8 -duration 5s \
+//	    -get-fraction 0.9 -value-size 64 -keys 100000 -zipf 1.01
+//
+// One-shot commands:
+//
+//	kv3d-client -addr localhost:11211 set mykey hello
+//	kv3d-client -addr localhost:11211 get mykey
+//	kv3d-client -addr localhost:11211 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kv3d/internal/kvclient"
+	"kv3d/internal/metrics"
+	"kv3d/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "server address")
+	load := flag.Bool("load", false, "run the load generator")
+	conns := flag.Int("conns", 4, "load: concurrent connections")
+	duration := flag.Duration("duration", 5*time.Second, "load: run time")
+	getFraction := flag.Float64("get-fraction", 0.9, "load: GET share")
+	valueSize := flag.Int64("value-size", 64, "load: value bytes")
+	keys := flag.Int("keys", 10000, "load: key-space size")
+	zipf := flag.Float64("zipf", 1.01, "load: key popularity skew (0 = uniform)")
+	seed := flag.Uint64("seed", 1, "load: RNG seed")
+	flag.Parse()
+
+	if *load {
+		runLoad(*addr, *conns, *duration, *getFraction, *valueSize, *keys, *zipf, *seed)
+		return
+	}
+	runCommand(*addr, flag.Args())
+}
+
+func runCommand(addr string, args []string) {
+	if len(args) == 0 {
+		log.Fatal("kv3d-client: need a command (get/set/delete/incr/stats/version) or -load")
+	}
+	c, err := kvclient.Dial(addr)
+	if err != nil {
+		log.Fatalf("kv3d-client: %v", err)
+	}
+	defer c.Close()
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: get <key>")
+		}
+		it, err := c.Get(args[1])
+		if err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		fmt.Printf("%s\n", it.Value)
+	case "set":
+		if len(args) != 3 {
+			log.Fatal("usage: set <key> <value>")
+		}
+		if err := c.Set(args[1], []byte(args[2]), 0, 0); err != nil {
+			log.Fatalf("set: %v", err)
+		}
+		fmt.Println("STORED")
+	case "delete":
+		if len(args) != 2 {
+			log.Fatal("usage: delete <key>")
+		}
+		if err := c.Delete(args[1]); err != nil {
+			log.Fatalf("delete: %v", err)
+		}
+		fmt.Println("DELETED")
+	case "incr":
+		if len(args) != 3 {
+			log.Fatal("usage: incr <key> <delta>")
+		}
+		var delta uint64
+		fmt.Sscan(args[2], &delta)
+		v, err := c.Incr(args[1], delta)
+		if err != nil {
+			log.Fatalf("incr: %v", err)
+		}
+		fmt.Println(v)
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		names := make([]string, 0, len(st))
+		for k := range st {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("%s %s\n", k, st[k])
+		}
+	case "version":
+		v, err := c.Version()
+		if err != nil {
+			log.Fatalf("version: %v", err)
+		}
+		fmt.Println(v)
+	default:
+		log.Fatalf("kv3d-client: unknown command %q", args[0])
+	}
+}
+
+func runLoad(addr string, conns int, duration time.Duration, getFraction float64, valueSize int64, keys int, zipf float64, seed uint64) {
+	var (
+		ops      atomic.Uint64
+		hits     atomic.Uint64
+		misses   atomic.Uint64
+		errsN    atomic.Uint64
+		mu       sync.Mutex
+		combined = metrics.NewHistogram()
+	)
+	value := make([]byte, valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c, err := kvclient.Dial(addr)
+			if err != nil {
+				log.Printf("worker %d: %v", worker, err)
+				errsN.Add(1)
+				return
+			}
+			defer c.Close()
+			gen, err := workload.NewGenerator(workload.MixConfig{
+				GetFraction: getFraction,
+				Keys:        keys,
+				ZipfSkew:    zipf,
+				Values:      workload.FixedSize(valueSize),
+				Seed:        seed + uint64(worker),
+			})
+			if err != nil {
+				log.Printf("worker %d: %v", worker, err)
+				return
+			}
+			hist := metrics.NewHistogram()
+			for time.Now().Before(deadline) {
+				req := gen.Next()
+				start := time.Now()
+				if req.IsGet {
+					_, err := c.Get(req.Key)
+					switch err {
+					case nil:
+						hits.Add(1)
+					case kvclient.ErrNotFound:
+						misses.Add(1)
+					default:
+						errsN.Add(1)
+						continue
+					}
+				} else {
+					if err := c.Set(req.Key, value, 0, 0); err != nil {
+						errsN.Add(1)
+						continue
+					}
+				}
+				hist.Record(time.Since(start).Nanoseconds())
+				ops.Add(1)
+			}
+			mu.Lock()
+			combined.Merge(hist)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	total := ops.Load()
+	fmt.Printf("ops:        %d (%.0f/s)\n", total, float64(total)/duration.Seconds())
+	fmt.Printf("hits:       %d  misses: %d  errors: %d\n", hits.Load(), misses.Load(), errsN.Load())
+	if combined.Count() > 0 {
+		fmt.Printf("latency us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+			combined.Mean()/1e3,
+			float64(combined.Percentile(50))/1e3,
+			float64(combined.Percentile(95))/1e3,
+			float64(combined.Percentile(99))/1e3,
+			float64(combined.Max())/1e3)
+	}
+	if errsN.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command kv3d-explore evaluates a single Mercury/Iridium design point
+// and prints the full server-level outcome — the interactive face of the
+// design-space exploration behind Table 3.
+//
+//	kv3d-explore -core a7 -cores 32 -mem dram
+//	kv3d-explore -core a15-1.5 -cores 8 -mem flash -dram-ns 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kv3d/internal/cpu"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/report"
+	"kv3d/internal/server"
+	"kv3d/internal/sim"
+)
+
+func main() {
+	coreName := flag.String("core", "a7", "core: a7, a15-1.0, a15-1.5")
+	coresPer := flag.Int("cores", 32, "cores per stack (1..32)")
+	mem := flag.String("mem", "dram", "memory: dram (Mercury) or flash (Iridium)")
+	dramNS := flag.Int("dram-ns", 10, "DRAM closed-page latency in ns")
+	flashUS := flag.Int("flash-us", 10, "Flash read latency in us")
+	flag.Parse()
+
+	var core cpu.Core
+	switch *coreName {
+	case "a7":
+		core = cpu.CortexA7()
+	case "a15-1.0", "a15":
+		core = cpu.MustCortexA15(1e9)
+	case "a15-1.5":
+		core = cpu.MustCortexA15(1.5e9)
+	default:
+		log.Fatalf("kv3d-explore: unknown core %q", *coreName)
+	}
+
+	var d server.Design
+	switch *mem {
+	case "dram":
+		d = server.Mercury(core, *coresPer)
+		dev, err := memmodel.NewDRAM3D(sim.Duration(*dramNS) * sim.Nanosecond)
+		if err != nil {
+			log.Fatalf("kv3d-explore: %v", err)
+		}
+		d.Mem = dev
+	case "flash":
+		d = server.Iridium(core, *coresPer)
+		dev, err := memmodel.NewFlash3D(sim.Duration(*flashUS)*sim.Microsecond, 200*sim.Microsecond)
+		if err != nil {
+			log.Fatalf("kv3d-explore: %v", err)
+		}
+		d.Mem = dev
+	default:
+		log.Fatalf("kv3d-explore: unknown memory %q", *mem)
+	}
+
+	e, err := server.Evaluate(d)
+	if err != nil {
+		log.Fatalf("kv3d-explore: %v", err)
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s on %s with %s", d.Name, core.Name(), d.Mem.Name()),
+		Columns: []string{"Metric", "Value"},
+	}
+	t.AddRow("Stacks", fmt.Sprintf("%d (limited by %s)", e.Stacks, e.LimitedBy))
+	t.AddRow("Cores", e.Cores)
+	t.AddRow("Density", report.Bytes(e.DensityBytes))
+	t.AddRow("Board area", fmt.Sprintf("%.0f cm^2", e.AreaCM2))
+	t.AddRow("Power @max BW", fmt.Sprintf("%.0f W", e.PowerMaxW))
+	t.AddRow("Power @64B GETs", fmt.Sprintf("%.0f W", e.Power64BW))
+	t.AddRow("Max memory BW", fmt.Sprintf("%.1f GB/s", e.MaxBWBytesPerSec/1e9))
+	t.AddRow("TPS @64B", report.SI(e.TPS64B))
+	t.AddRow("TPS/Watt", report.SI(e.TPSPerWatt()))
+	t.AddRow("TPS/GB", report.SI(e.TPSPerGB()))
+	t.AddRow("Mean RTT @64B", e.MeanRTT64B.String())
+	t.AddRow("Requests <1ms", fmt.Sprintf("%.1f%%", e.SubMsFraction64B*100))
+	t.Render(os.Stdout)
+}

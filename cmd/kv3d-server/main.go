@@ -1,0 +1,119 @@
+// Command kv3d-server runs a memcached-compatible TCP server backed by
+// the kvstore engine.
+//
+//	kv3d-server -addr :11211 -memory 64m -policy lru -mode striped
+//
+// Any memcached ASCII client can talk to it:
+//
+//	printf 'set k 0 0 5\r\nhello\r\nget k\r\n' | nc localhost 11211
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"kv3d/internal/kvserver"
+	"kv3d/internal/kvstore"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
+	memory := flag.String("memory", "64m", "memory limit (supports k/m/g suffixes)")
+	policy := flag.String("policy", "lru", "eviction policy: lru or bags")
+	mode := flag.String("mode", "striped", "locking: global (memcached 1.4) or striped (1.6)")
+	shards := flag.Int("shards", 8, "shard count for striped mode")
+	noEvict := flag.Bool("no-evict", false, "error instead of evicting (memcached -M)")
+	maxConns := flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close idle connections after this long (0 = never)")
+	crawlEvery := flag.Duration("crawl-interval", 0, "background expiry sweep interval (0 = disabled)")
+	udpAddr := flag.String("udp", "", "also serve the UDP protocol on this address (e.g. :11211)")
+	flag.Parse()
+
+	limit, err := parseSize(*memory)
+	if err != nil {
+		log.Fatalf("kv3d-server: %v", err)
+	}
+	cfg := kvstore.DefaultConfig(limit)
+	cfg.Shards = *shards
+	cfg.EvictionsEnabled = !*noEvict
+	switch *policy {
+	case "lru":
+		cfg.Policy = kvstore.PolicyLRU
+	case "bags":
+		cfg.Policy = kvstore.PolicyBags
+	default:
+		log.Fatalf("kv3d-server: unknown policy %q", *policy)
+	}
+	switch *mode {
+	case "global":
+		cfg.Mode = kvstore.ModeGlobal
+	case "striped":
+		cfg.Mode = kvstore.ModeStriped
+	default:
+		log.Fatalf("kv3d-server: unknown mode %q", *mode)
+	}
+
+	store, err := kvstore.New(cfg)
+	if err != nil {
+		log.Fatalf("kv3d-server: %v", err)
+	}
+	srv := kvserver.NewWithOptions(store, log.New(os.Stderr, "", log.LstdFlags), kvserver.Options{
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("kv3d-server: %v", err)
+	}
+	if *crawlEvery > 0 {
+		crawler := store.StartCrawler(*crawlEvery)
+		defer crawler.Stop()
+	}
+	if *udpAddr != "" {
+		udp, err := srv.ListenUDP(*udpAddr)
+		if err != nil {
+			log.Fatalf("kv3d-server: udp: %v", err)
+		}
+		defer udp.Close()
+		log.Printf("kv3d-server: udp on %s", udp.Addr())
+	}
+	log.Printf("kv3d-server: listening on %s (%s, %s, %s, %d shards)",
+		srv.Addr(), *memory, *policy, *mode, store.Config().Shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("kv3d-server: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("kv3d-server: %v", err)
+	}
+	s := store.Stats()
+	log.Printf("kv3d-server: served %d conns, %d gets (%.1f%% hit), %d sets, %d evictions",
+		srv.Accepted(), s.GetHits+s.GetMisses, s.HitRate()*100, s.Sets, s.Evictions)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1024":  1024,
+		"64k":   64 << 10,
+		"64K":   64 << 10,
+		"256m":  256 << 20,
+		"2g":    2 << 30,
+		" 16m ": 16 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q) error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12x", "m"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Datacenter: the paper's motivating arithmetic (§1, §2.2–2.3). Industry
+// contacts told the authors ~25% of data-center space is key-value
+// stores, and Facebook's published 2008 cluster held 28TB of DRAM on
+// over 800 memcached servers. This example sizes that cluster — capacity
+// AND throughput — on each server design and prints the floor-space and
+// power bill, which is the whole point of treating density as a
+// first-class constraint.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"kv3d/internal/baseline"
+	"kv3d/internal/cpu"
+	"kv3d/internal/server"
+)
+
+// The published Facebook 2008 cluster (§2.3) plus a traffic assumption.
+const (
+	datasetTB    = 28.0
+	clusterTPS   = 300e6 // aggregate peak, ~375K TPS/server on 800 boxes
+	rackUnits    = 42    // per rack
+	serverUnits  = 1.5   // every design here is a 1.5U box
+	rackPowerKW  = 12.0  // typical provisioned rack power
+	usdPerKWYear = 1000.0
+)
+
+type candidate struct {
+	name     string
+	memoryGB float64
+	tps      float64
+	powerW   float64
+}
+
+func main() {
+	var candidates []candidate
+
+	// Baselines from Table 4.
+	for _, v := range []baseline.Version{baseline.V14, baseline.Bags} {
+		x := baseline.Reference(v)
+		candidates = append(candidates, candidate{
+			name:     x.Name(),
+			memoryGB: float64(x.MemoryBytes()) / (1 << 30),
+			tps:      x.TPS64B(),
+			powerW:   x.PowerW(),
+		})
+	}
+	// Mercury-32 and Iridium-32 on A7.
+	for _, d := range []server.Design{
+		server.Mercury(cpu.CortexA7(), 32),
+		server.Iridium(cpu.CortexA7(), 32),
+	} {
+		e, err := server.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates = append(candidates, candidate{
+			name:     d.Name + " (A7)",
+			memoryGB: float64(e.DensityBytes) / (1 << 30),
+			tps:      e.TPS64B,
+			powerW:   e.Power64BW,
+		})
+	}
+
+	fmt.Printf("Serving a %.0fTB key-value tier at %.0fM TPS peak:\n\n", datasetTB, clusterTPS/1e6)
+	fmt.Printf("%-28s %8s %8s %7s %9s %12s\n",
+		"design", "servers", "racks", "kW", "U-space", "power $/yr")
+	for _, c := range candidates {
+		byCapacity := datasetTB * 1024 / c.memoryGB
+		byThroughput := clusterTPS / c.tps
+		servers := math.Ceil(math.Max(byCapacity, byThroughput))
+		binding := "capacity"
+		if byThroughput > byCapacity {
+			binding = "throughput"
+		}
+		kw := servers * c.powerW / 1000
+		racksBySpace := servers * serverUnits / rackUnits
+		racksByPower := kw / rackPowerKW
+		racks := math.Ceil(math.Max(racksBySpace, racksByPower))
+		fmt.Printf("%-28s %8.0f %8.0f %7.0f %9.0f %12.0f  (%s-bound)\n",
+			c.name, servers, racks, kw, servers*serverUnits, kw*usdPerKWYear, binding)
+	}
+	fmt.Println("\nDensity as a first-class constraint: the Mercury boxes collapse the")
+	fmt.Println("footprint by an order of magnitude, and Iridium goes further whenever")
+	fmt.Println("the tier is capacity-bound rather than throughput-bound.")
+}

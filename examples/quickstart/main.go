@@ -1,0 +1,61 @@
+// Quickstart: the two faces of kv3d in ~60 lines.
+//
+//  1. The functional side: an embedded memcached-compatible store.
+//  2. The modeling side: simulate a Mercury stack and print its
+//     throughput on small GETs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kv3d/internal/cache"
+	"kv3d/internal/cpu"
+	"kv3d/internal/kvstore"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/sim"
+	"kv3d/internal/stackmodel"
+)
+
+func main() {
+	// --- 1. Embedded key-value store -----------------------------------
+	store, err := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Set("greeting", []byte("hello, 3D-stacked world"), 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	entry, ok := store.Get("greeting")
+	if !ok {
+		log.Fatal("lost the greeting")
+	}
+	fmt.Printf("store: %q (cas=%d)\n", entry.Value, entry.CAS)
+
+	if _, err := store.Incr("counter", 1); err != nil {
+		store.Set("counter", []byte("1"), 0, 0)
+	}
+	n, _ := store.Incr("counter", 41)
+	fmt.Printf("store: counter=%d, stats=%d items\n", n, store.ItemCount())
+
+	// --- 2. Simulated Mercury stack -------------------------------------
+	stack, err := stackmodel.NewStack(stackmodel.Config{
+		Core:          cpu.CortexA7(),
+		Cache:         cache.L2MB2(),
+		Mem:           memmodel.MustDRAM3D(10 * sim.Nanosecond),
+		CoresPerStack: 8, // a Mercury-8 stack
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stack.Measure(stackmodel.Get, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mercury-8 stack: %.0f TPS on 64B GETs (mean RTT %v, p99 %v)\n",
+		res.StackTPS, res.MeanRTT, sim.Duration(res.Hist.Percentile(99)))
+	fmt.Printf("mercury-8 stack: a 96-stack 1.5U server would sustain ~%.1fM TPS\n",
+		res.StackTPS*96/1e6)
+}

@@ -1,0 +1,3 @@
+module kv3d
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package clustersim studies request distribution across the stacks of
+// a Mercury/Iridium server (§3.8): keys map onto stacks through a
+// consistent-hash ring, a Zipf-skewed workload concentrates traffic,
+// and the server's effective throughput is set by its hottest stack.
+// The paper argues that many physical nodes (96 stacks × many cores)
+// minimize resource contention; this module quantifies that, including
+// the effect of virtual-node count on arc balance.
+package clustersim
+
+import (
+	"fmt"
+
+	"kv3d/internal/cluster"
+	"kv3d/internal/sim"
+	"kv3d/internal/workload"
+)
+
+// Config describes one load-distribution experiment.
+type Config struct {
+	// Stacks is the number of physical nodes in the box.
+	Stacks int
+	// VirtualNodes per stack on the ring.
+	VirtualNodes int
+	// Keys is the key-space size.
+	Keys int
+	// ZipfSkew shapes key popularity (0 = uniform).
+	ZipfSkew float64
+	// Requests is the sample size.
+	Requests int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Result reports the distribution outcome.
+type Result struct {
+	// PerStack is the request count per stack name.
+	PerStack map[string]int
+	// MaxLoad / MeanLoad is the imbalance factor: effective server
+	// throughput is capacity/imbalance once the hottest stack saturates.
+	Imbalance float64
+	// HottestShare is the busiest stack's share of all requests.
+	HottestShare float64
+	// EffectiveThroughputFraction is 1/Imbalance: the fraction of
+	// aggregate capacity usable before the hottest stack saturates.
+	EffectiveThroughputFraction float64
+}
+
+// Run executes the distribution experiment.
+func Run(cfg Config) (Result, error) {
+	if cfg.Stacks <= 0 {
+		return Result{}, fmt.Errorf("clustersim: need stacks > 0, got %d", cfg.Stacks)
+	}
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("clustersim: need requests > 0, got %d", cfg.Requests)
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100_000
+	}
+	ring := cluster.NewRing(cfg.VirtualNodes)
+	for i := 0; i < cfg.Stacks; i++ {
+		ring.Add(fmt.Sprintf("stack-%02d", i))
+	}
+	gen, err := workload.NewGenerator(workload.MixConfig{
+		GetFraction: 1.0,
+		Keys:        cfg.Keys,
+		ZipfSkew:    cfg.ZipfSkew,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	perStack := make(map[string]int, cfg.Stacks)
+	for i := 0; i < cfg.Requests; i++ {
+		req := gen.Next()
+		node, err := ring.Locate(req.Key)
+		if err != nil {
+			return Result{}, err
+		}
+		perStack[node]++
+	}
+	maxLoad := 0
+	for _, n := range perStack {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	mean := float64(cfg.Requests) / float64(cfg.Stacks)
+	imb := float64(maxLoad) / mean
+	return Result{
+		PerStack:                    perStack,
+		Imbalance:                   imb,
+		HottestShare:                float64(maxLoad) / float64(cfg.Requests),
+		EffectiveThroughputFraction: 1 / imb,
+	}, nil
+}
+
+// HotKeyBound returns the load imbalance floor imposed by the single
+// hottest key under a Zipf(s) popularity over n keys routed to `stacks`
+// nodes: no placement can split one key's traffic, so the hottest stack
+// carries at least that key's share.
+func HotKeyBound(s float64, n, stacks int) (float64, error) {
+	z, err := workload.NewZipf(s, n)
+	if err != nil {
+		return 0, err
+	}
+	// Estimate rank-0 share by sampling.
+	r := sim.NewRand(99)
+	const samples = 200_000
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if z.Sample(r) == 0 {
+			hot++
+		}
+	}
+	share := float64(hot) / samples
+	return share * float64(stacks), nil
+}

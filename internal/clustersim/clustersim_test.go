@@ -1,0 +1,90 @@
+package clustersim
+
+import (
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Stacks: 0, Requests: 10}); err == nil {
+		t.Fatal("zero stacks accepted")
+	}
+	if _, err := Run(Config{Stacks: 4, Requests: 0}); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+func TestUniformTrafficBalances(t *testing.T) {
+	r, err := Run(Config{Stacks: 16, VirtualNodes: 160, Keys: 100_000, ZipfSkew: 0, Requests: 100_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerStack) != 16 {
+		t.Fatalf("only %d stacks received traffic", len(r.PerStack))
+	}
+	if r.Imbalance > 1.4 {
+		t.Fatalf("uniform imbalance = %.2f, want near 1", r.Imbalance)
+	}
+	if r.EffectiveThroughputFraction < 0.7 {
+		t.Fatalf("effective throughput fraction = %.2f", r.EffectiveThroughputFraction)
+	}
+}
+
+func TestMoreVirtualNodesImproveBalance(t *testing.T) {
+	imbalanceAt := func(vnodes int) float64 {
+		r, err := Run(Config{Stacks: 16, VirtualNodes: vnodes, Keys: 100_000, ZipfSkew: 0, Requests: 50_000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Imbalance
+	}
+	few := imbalanceAt(1)
+	many := imbalanceAt(160)
+	if many >= few {
+		t.Fatalf("160 vnodes (%.2f) should balance better than 1 (%.2f)", many, few)
+	}
+	if few < 1.5 {
+		t.Fatalf("single-vnode ring should be visibly imbalanced, got %.2f", few)
+	}
+}
+
+func TestZipfSkewConcentratesLoad(t *testing.T) {
+	uniform, err := Run(Config{Stacks: 16, VirtualNodes: 160, Keys: 10_000, ZipfSkew: 0, Requests: 50_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Run(Config{Stacks: 16, VirtualNodes: 160, Keys: 10_000, ZipfSkew: 1.2, Requests: 50_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Imbalance <= uniform.Imbalance {
+		t.Fatalf("zipf (%.2f) should be worse than uniform (%.2f)", skewed.Imbalance, uniform.Imbalance)
+	}
+}
+
+func TestMoreStacksReduceHottestShare(t *testing.T) {
+	// The paper's §3.8 argument: more physical nodes → smaller arcs →
+	// less of the keyspace (and its traffic) per node.
+	share := func(stacks int) float64 {
+		r, err := Run(Config{Stacks: stacks, VirtualNodes: 160, Keys: 100_000, ZipfSkew: 0.99, Requests: 50_000, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.HottestShare
+	}
+	if s96 := share(96); s96 >= share(8) {
+		t.Fatalf("96 stacks should shrink the hottest share vs 8 (%.3f)", s96)
+	}
+}
+
+func TestHotKeyBound(t *testing.T) {
+	b, err := HotKeyBound(1.2, 10_000, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 1 {
+		t.Fatalf("a zipf-1.2 hot key across 96 stacks must bound imbalance above 1, got %.2f", b)
+	}
+	if _, err := HotKeyBound(0, 10, 4); err == nil {
+		t.Fatal("invalid skew accepted")
+	}
+}

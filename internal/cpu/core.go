@@ -1,0 +1,204 @@
+// Package cpu provides the core timing models used by the Mercury and
+// Iridium stack simulations: ARM Cortex-A7 (in-order), Cortex-A15
+// (out-of-order) and a Xeon-class server core for baselines.
+//
+// The model is request-level, matching the paper's methodology: a
+// request executes instruction blocks whose time is instructions /
+// effective-IPC / frequency, plus memory stall time divided by the
+// core's memory-level parallelism (OoO cores overlap misses, in-order
+// cores mostly cannot). Effective IPC values reflect scale-out-workload
+// behaviour (low ILP, high icache pressure — Ferdman et al.), not peak
+// issue width; they are calibrated so that the paper's reported ratios
+// hold (A15 ≈ 3× A7 with an L2 at small requests, 1–2× without).
+package cpu
+
+import (
+	"fmt"
+
+	"kv3d/internal/sim"
+)
+
+// Kind enumerates the modeled core types.
+type Kind int
+
+const (
+	KindA7 Kind = iota
+	KindA15
+	KindXeon
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindA7:
+		return "Cortex-A7"
+	case KindA15:
+		return "Cortex-A15"
+	case KindXeon:
+		return "Xeon"
+	default:
+		return "unknown-core"
+	}
+}
+
+// Core is an immutable description of one CPU core.
+type Core struct {
+	Kind Kind
+	// FreqHz is the clock frequency.
+	FreqHz float64
+	// IPC is the effective instructions-per-cycle on memcached-like
+	// code (network stack dominated, low ILP).
+	IPC float64
+	// MLP is the memory-level parallelism: how many outstanding misses
+	// the core overlaps. Stall time divides by this.
+	MLP float64
+	// StreamBytesPerSec is the effective per-core rate for bulk data
+	// movement through the kernel network path (copy + checksum),
+	// largely memory-bound and therefore only weakly frequency-scaled.
+	StreamBytesPerSec float64
+	// PowerW and AreaMM2 are the Table 1 figures.
+	PowerW  float64
+	AreaMM2 float64
+	// OutOfOrder is informational (A15, Xeon).
+	OutOfOrder bool
+}
+
+// Table 1 power/area constants from the paper.
+const (
+	a7PowerW      = 0.100 // A7 @1GHz
+	a15PowerW1G   = 0.600 // A15 @1GHz
+	a15PowerW15G  = 1.000 // A15 @1.5GHz
+	a7AreaMM2     = 0.58
+	a15AreaMM2    = 2.82
+	xeonPowerW    = 12.0 // per core, conventional server class
+	xeonAreaMM2   = 20.0
+	xeonFreqHz    = 2.5e9
+	xeonIPC       = 1.6
+	xeonMLP       = 4.0
+	xeonStreamBps = 3.0e9
+)
+
+// CortexA7 returns the 1GHz in-order A7 model used by Mercury/Iridium.
+func CortexA7() Core {
+	return Core{
+		Kind:              KindA7,
+		FreqHz:            1e9,
+		IPC:               0.40,
+		MLP:               1.0,
+		StreamBytesPerSec: 240e6,
+		PowerW:            a7PowerW,
+		AreaMM2:           a7AreaMM2,
+	}
+}
+
+// CortexA15 returns the out-of-order A15 model at 1.0 or 1.5 GHz.
+// Other frequencies are rejected: the paper (and the Table 1 power
+// numbers) only covers these two operating points.
+func CortexA15(freqHz float64) (Core, error) {
+	c := Core{
+		Kind:              KindA15,
+		IPC:               1.15,
+		MLP:               2.0,
+		OutOfOrder:        true,
+		AreaMM2:           a15AreaMM2,
+		StreamBytesPerSec: 360e6,
+	}
+	switch freqHz {
+	case 1e9:
+		c.FreqHz = 1e9
+		c.PowerW = a15PowerW1G
+	case 1.5e9:
+		c.FreqHz = 1.5e9
+		c.PowerW = a15PowerW15G
+		c.StreamBytesPerSec = 400e6 // modest gain: the path is memory-bound
+	default:
+		return Core{}, fmt.Errorf("cpu: A15 supports 1GHz or 1.5GHz, got %.2gHz", freqHz)
+	}
+	return c, nil
+}
+
+// MustCortexA15 panics on an unsupported frequency; for tables where the
+// frequency is a literal.
+func MustCortexA15(freqHz float64) Core {
+	c, err := CortexA15(freqHz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Xeon returns a conventional out-of-order server core for the baseline
+// comparisons (Table 4's "state-of-the-art server").
+func Xeon() Core {
+	return Core{
+		Kind:              KindXeon,
+		FreqHz:            xeonFreqHz,
+		IPC:               xeonIPC,
+		MLP:               xeonMLP,
+		StreamBytesPerSec: xeonStreamBps,
+		PowerW:            xeonPowerW,
+		AreaMM2:           xeonAreaMM2,
+		OutOfOrder:        true,
+	}
+}
+
+// Name renders e.g. "Cortex-A15 @1.5GHz".
+func (c Core) Name() string {
+	return fmt.Sprintf("%s @%.3gGHz", c.Kind, c.FreqHz/1e9)
+}
+
+// CyclePeriod returns the duration of one clock cycle.
+func (c Core) CyclePeriod() sim.Duration {
+	return sim.FromSeconds(1 / c.FreqHz)
+}
+
+// ComputeTime returns the time to execute the given instruction count at
+// the core's effective IPC.
+func (c Core) ComputeTime(instructions float64) sim.Duration {
+	if instructions <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(instructions / c.IPC / c.FreqHz)
+}
+
+// MLPWindow is the longest single-miss latency an out-of-order window
+// can still overlap with other misses; beyond it (Flash-class latencies)
+// the ROB fills and the core serializes, so MLP degrades to 1.
+const MLPWindow = 500 * sim.Nanosecond
+
+// EffectiveMLP returns the usable memory-level parallelism for misses of
+// the given latency.
+func (c Core) EffectiveMLP(missLatency sim.Duration) float64 {
+	mlp := c.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	if missLatency > MLPWindow {
+		return 1
+	}
+	return mlp
+}
+
+// StallTime converts an aggregate miss-latency sum into core stall time,
+// applying the core's memory-level parallelism for misses of the given
+// individual latency.
+func (c Core) StallTime(totalMissLatency sim.Duration) sim.Duration {
+	return c.StallTimeAt(totalMissLatency, 0)
+}
+
+// StallTimeAt is StallTime with the per-miss latency made explicit so
+// Flash-class misses are not overlapped.
+func (c Core) StallTimeAt(totalMissLatency, perMiss sim.Duration) sim.Duration {
+	if totalMissLatency <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(totalMissLatency.Seconds() / c.EffectiveMLP(perMiss))
+}
+
+// StreamTime returns the time to move n bytes through the core's bulk
+// data path.
+func (c Core) StreamTime(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(bytes) / c.StreamBytesPerSec)
+}

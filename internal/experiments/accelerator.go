@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"kv3d/internal/baseline"
+	"kv3d/internal/cpu"
+	"kv3d/internal/phys"
+	"kv3d/internal/report"
+	"kv3d/internal/server"
+	"kv3d/internal/stackmodel"
+)
+
+func init() {
+	registry["accelerator"] = Accelerator
+	registry["diurnal"] = Diurnal
+}
+
+// Accelerator composes the paper's two specialization directions: many
+// wimpy cores per stack (Mercury) versus a TSSP-style GET engine on the
+// stack (§3.7 moved into the 3D package). One engine plus one A7 (for
+// PUTs and management) replaces 32 cores.
+func Accelerator(o Options) (Result, error) {
+	reqs := requestCount(o)
+
+	// Mercury-32 reference.
+	m32, err := server.Evaluate(server.Mercury(cpu.CortexA7(), 32))
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Offloaded stack: engine GET throughput measured in simulation.
+	cfg := stackmodel.Config{
+		Core:          cpu.CortexA7(),
+		Cache:         m32.Design.Cache,
+		Mem:           m32.Design.Mem,
+		CoresPerStack: 1,
+	}
+	engine := stackmodel.TSSPOffload()
+	cfg.Offload = &engine
+	st, err := stackmodel.NewStack(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := st.MeasureOffloaded(64, 8, reqs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Server composition: engine power rides on the stack.
+	perStackBW := res.StackTPS * 64
+	stackPower := phys.StackPowerW(cpu.CortexA7(), 1, cfg.Mem, perStackBW) + engine.PowerW
+	stacks, limit := phys.MaxStacks(stackPower)
+	serverTPS := res.StackTPS * float64(stacks)
+	serverPower := phys.ServerPowerW(stackPower, stacks)
+
+	t := &report.Table{
+		Title: "Accelerated stacks: TSSP-style GET engine on a Mercury stack vs Mercury-32 (64B GETs)",
+		Columns: []string{"System", "Stacks", "TPS (M)", "Power (W)",
+			"KTPS/W", "Density (GB)", "Limit"},
+		Note: fmt.Sprintf("engine: %.1f us occupancy (%.0fK GETs/s), %.1f W; published TSSP: %.0fK TPS at %.1fK TPS/W",
+			engine.EngineTime.Micros(), 1e-3/engine.EngineTime.Seconds(), engine.PowerW,
+			baseline.TSSP{}.TPS64B()/1e3, baseline.TSSP{}.TPSPerWatt()/1e3),
+	}
+	t.AddRow("Mercury-32 (A7 cores)", m32.Stacks,
+		fmt.Sprintf("%.2f", m32.TPS64B/1e6),
+		fmt.Sprintf("%.0f", m32.Power64BW),
+		fmt.Sprintf("%.1f", m32.TPSPerWatt()/1e3),
+		fmt.Sprintf("%.0f", float64(m32.DensityBytes)/(1<<30)),
+		string(m32.LimitedBy))
+	t.AddRow("Mercury-1 + GET engine", stacks,
+		fmt.Sprintf("%.2f", serverTPS/1e6),
+		fmt.Sprintf("%.0f", serverPower),
+		fmt.Sprintf("%.1f", serverTPS/serverPower/1e3),
+		fmt.Sprintf("%.0f", float64(stacks)*4),
+		string(limit))
+	return Result{ID: "accelerator", Title: "Accelerated stacks", Tables: []*report.Table{t}}, nil
+}
+
+// Diurnal quantifies §2.2: traffic follows the day, but provisioned
+// servers cannot leave the building. Per-stack power gating gives a
+// Mercury box finer energy proportionality than whole-server on/off in
+// a Xeon fleet, while floor space stays fixed for both.
+func Diurnal(o Options) (Result, error) {
+	m32, err := server.Evaluate(server.Mercury(cpu.CortexA7(), 32))
+	if err != nil {
+		return Result{}, err
+	}
+	bags := baseline.Reference(baseline.Bags)
+
+	// Provision both fleets for the same peak.
+	peakTPS := 100e6
+	mercuryBoxes := math.Ceil(peakTPS / m32.TPS64B)
+	xeonBoxes := math.Ceil(peakTPS / bags.TPS64B())
+
+	t := &report.Table{
+		Title: "Diurnal load (§2.2): fleet power across the day at fixed floor space",
+		Columns: []string{"Load %", "Xeon fleet kW (server on/off)",
+			"Mercury kW (stack gating)", "Mercury saving"},
+		Note: fmt.Sprintf("fleets sized for %.0fM TPS peak: %.0f Bags servers vs %.0f Mercury boxes (%.1fx fewer)",
+			peakTPS/1e6, xeonBoxes, mercuryBoxes, xeonBoxes/mercuryBoxes),
+	}
+	stackPower := (m32.Power64BW - phys.OtherComponentsW) / float64(m32.Stacks)
+	for _, load := range []float64{1.0, 0.75, 0.5, 0.25, 0.1} {
+		// Xeon fleet: whole servers shut down, the rest run at full
+		// power (memcached has no useful DVFS headroom at depth).
+		xeonOn := math.Ceil(xeonBoxes * load)
+		xeonKW := xeonOn * bags.PowerW() / 1000
+		// Mercury: every box stays up (the data must stay resident!)
+		// but idle stacks gate to background power. Keep the fraction
+		// of stacks needed for the load hot.
+		hotStacks := math.Ceil(float64(m32.Stacks) * load)
+		idleStacks := float64(m32.Stacks) - hotStacks
+		perBox := phys.OtherComponentsW + hotStacks*stackPower + idleStacks*stackPower*0.15
+		mercKW := mercuryBoxes * perBox / 1000
+		saving := "-"
+		if xeonKW > 0 {
+			saving = fmt.Sprintf("%.1f%%", 100*(1-mercKW/xeonKW))
+		}
+		t.AddRow(fmt.Sprintf("%.0f", load*100),
+			fmt.Sprintf("%.0f", xeonKW),
+			fmt.Sprintf("%.0f", mercKW),
+			saving)
+	}
+	t2 := &report.Table{
+		Title:   "Caveat",
+		Columns: []string{"Note"},
+	}
+	t2.AddRow("Xeon on/off loses the powered-down servers' cached data (§2.3: no persistence);")
+	t2.AddRow("Mercury stack gating keeps all data resident because DRAM background power is retained.")
+	return Result{ID: "diurnal", Title: "Diurnal energy proportionality", Tables: []*report.Table{t, t2}}, nil
+}

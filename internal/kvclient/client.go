@@ -1,0 +1,358 @@
+// Package kvclient is a minimal memcached ASCII protocol client used by
+// the load generator, the cluster example, and the end-to-end tests.
+// One Client wraps one TCP connection; it is not safe for concurrent
+// use (open one per goroutine, as memcached clients typically do).
+package kvclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Common protocol-level results.
+var (
+	ErrNotFound  = errors.New("kvclient: not found")
+	ErrNotStored = errors.New("kvclient: not stored")
+	ErrExists    = errors.New("kvclient: exists")
+	ErrServer    = errors.New("kvclient: server error")
+	ErrClient    = errors.New("kvclient: client error")
+	ErrProtocol  = errors.New("kvclient: protocol error")
+)
+
+// Client is a single-connection memcached client.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a memcached server address.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprint(c.w, "quit\r\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func classify(line string) error {
+	switch {
+	case line == "ERROR":
+		return ErrProtocol
+	case strings.HasPrefix(line, "CLIENT_ERROR"):
+		return fmt.Errorf("%w: %s", ErrClient, line)
+	case strings.HasPrefix(line, "SERVER_ERROR"):
+		return fmt.Errorf("%w: %s", ErrServer, line)
+	default:
+		return fmt.Errorf("%w: unexpected %q", ErrProtocol, line)
+	}
+}
+
+// Item is a fetched value.
+type Item struct {
+	Key   string
+	Value []byte
+	Flags uint32
+	CAS   uint64
+}
+
+func (c *Client) store(verb, key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	if verb == "cas" {
+		fmt.Fprintf(c.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas)
+	} else {
+		fmt.Fprintf(c.w, "%s %s %d %d %d\r\n", verb, key, flags, exptime, len(value))
+	}
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch line {
+	case "STORED":
+		return nil
+	case "NOT_STORED":
+		return ErrNotStored
+	case "EXISTS":
+		return ErrExists
+	case "NOT_FOUND":
+		return ErrNotFound
+	default:
+		return classify(line)
+	}
+}
+
+// Set stores a value unconditionally.
+func (c *Client) Set(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("set", key, value, flags, exptime, 0)
+}
+
+// Add stores only if absent.
+func (c *Client) Add(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("add", key, value, flags, exptime, 0)
+}
+
+// Replace stores only if present.
+func (c *Client) Replace(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("replace", key, value, flags, exptime, 0)
+}
+
+// Append appends to an existing value.
+func (c *Client) Append(key string, value []byte) error {
+	return c.store("append", key, value, 0, 0, 0)
+}
+
+// Prepend prepends to an existing value.
+func (c *Client) Prepend(key string, value []byte) error {
+	return c.store("prepend", key, value, 0, 0, 0)
+}
+
+// CAS stores if the server-side CAS id still matches.
+func (c *Client) CAS(key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	return c.store("cas", key, value, flags, exptime, cas)
+}
+
+// Get fetches one key; ErrNotFound on miss.
+func (c *Client) Get(key string) (Item, error) {
+	items, err := c.getMulti("get", []string{key})
+	if err != nil {
+		return Item{}, err
+	}
+	if len(items) == 0 {
+		return Item{}, ErrNotFound
+	}
+	return items[0], nil
+}
+
+// Gets fetches one key including its CAS id.
+func (c *Client) Gets(key string) (Item, error) {
+	items, err := c.getMulti("gets", []string{key})
+	if err != nil {
+		return Item{}, err
+	}
+	if len(items) == 0 {
+		return Item{}, ErrNotFound
+	}
+	return items[0], nil
+}
+
+// GetMulti fetches several keys in one round trip; missing keys are
+// simply absent from the result.
+func (c *Client) GetMulti(keys []string) (map[string]Item, error) {
+	items, err := c.getMulti("get", keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Item, len(items))
+	for _, it := range items {
+		out[it.Key] = it
+	}
+	return out, nil
+}
+
+func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
+	fmt.Fprintf(c.w, "%s %s\r\n", verb, strings.Join(keys, " "))
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var items []Item
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return items, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			return nil, classify(line)
+		}
+		flags, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad flags %q", ErrProtocol, fields[2])
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad length %q", ErrProtocol, fields[3])
+		}
+		var cas uint64
+		if len(fields) >= 5 {
+			cas, err = strconv.ParseUint(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad cas %q", ErrProtocol, fields[4])
+			}
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, err
+		}
+		items = append(items, Item{Key: fields[1], Value: buf[:n], Flags: uint32(flags), CAS: cas})
+	}
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key string) error {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch line {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrNotFound
+	default:
+		return classify(line)
+	}
+}
+
+// Incr increments a numeric value.
+func (c *Client) Incr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("incr", key, delta)
+}
+
+// Decr decrements a numeric value (floored at 0).
+func (c *Client) Decr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("decr", key, delta)
+}
+
+func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
+	fmt.Fprintf(c.w, "%s %s %d\r\n", verb, key, delta)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	if line == "NOT_FOUND" {
+		return 0, ErrNotFound
+	}
+	v, perr := strconv.ParseUint(line, 10, 64)
+	if perr != nil {
+		return 0, classify(line)
+	}
+	return v, nil
+}
+
+// Touch updates a key's TTL.
+func (c *Client) Touch(key string, exptime int64) error {
+	fmt.Fprintf(c.w, "touch %s %d\r\n", key, exptime)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch line {
+	case "TOUCHED":
+		return nil
+	case "NOT_FOUND":
+		return ErrNotFound
+	default:
+		return classify(line)
+	}
+}
+
+// FlushAll invalidates the whole cache after delay seconds.
+func (c *Client) FlushAll(delay int64) error {
+	if delay > 0 {
+		fmt.Fprintf(c.w, "flush_all %d\r\n", delay)
+	} else {
+		fmt.Fprint(c.w, "flush_all\r\n")
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return classify(line)
+	}
+	return nil
+}
+
+// Stats fetches the server's STAT map.
+func (c *Client) Stats() (map[string]string, error) {
+	fmt.Fprint(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, classify(line)
+		}
+		out[fields[1]] = fields[2]
+	}
+}
+
+// Version queries the server version string.
+func (c *Client) Version() (string, error) {
+	fmt.Fprint(c.w, "version\r\n")
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "VERSION ") {
+		return "", classify(line)
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
+}

@@ -1,0 +1,240 @@
+package kvclient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kv3d/internal/cluster"
+)
+
+// ClusterClient routes memcached operations across many servers with a
+// consistent-hash ring — the client-side view of a Mercury deployment,
+// where every stack is an independent node (§3.8). Writes optionally
+// replicate to R nodes; reads fall through replicas on miss or node
+// failure.
+type ClusterClient struct {
+	ring     *cluster.Ring
+	replicas int
+
+	mu    sync.Mutex
+	conns map[string]*Client
+	dial  func(addr string) (*Client, error)
+}
+
+// ClusterConfig configures a ClusterClient.
+type ClusterConfig struct {
+	// Addrs are the initial node addresses.
+	Addrs []string
+	// Replicas is how many nodes store each key (default 1).
+	Replicas int
+	// VirtualNodes per server on the ring (default 160).
+	VirtualNodes int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// ErrNoNodes is returned when the ring is empty.
+var ErrNoNodes = errors.New("kvclient: cluster has no nodes")
+
+// NewCluster builds a cluster client. Connections are dialed lazily.
+func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, ErrNoNodes
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := &ClusterClient{
+		ring:     cluster.NewRing(cfg.VirtualNodes),
+		replicas: cfg.Replicas,
+		conns:    make(map[string]*Client),
+		dial: func(addr string) (*Client, error) {
+			return DialTimeout(addr, timeout)
+		},
+	}
+	for _, a := range cfg.Addrs {
+		c.ring.Add(a)
+	}
+	return c, nil
+}
+
+// AddNode inserts a server into the ring (idempotent).
+func (c *ClusterClient) AddNode(addr string) { c.ring.Add(addr) }
+
+// RemoveNode drops a server from the ring and closes its connection.
+func (c *ClusterClient) RemoveNode(addr string) {
+	c.ring.Remove(addr)
+	c.mu.Lock()
+	if conn, ok := c.conns[addr]; ok {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+}
+
+// Nodes lists the current ring members.
+func (c *ClusterClient) Nodes() []string { return c.ring.Nodes() }
+
+// conn returns (dialing if needed) the connection for a node.
+func (c *ClusterClient) conn(addr string) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// dropConn forgets a connection after a transport error so the next
+// operation re-dials.
+func (c *ClusterClient) dropConn(addr string) {
+	c.mu.Lock()
+	if conn, ok := c.conns[addr]; ok {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+}
+
+// ownersFor returns the replica set for a key.
+func (c *ClusterClient) ownersFor(key string) ([]string, error) {
+	nodes, err := c.ring.LocateN(key, c.replicas)
+	if err != nil {
+		return nil, ErrNoNodes
+	}
+	return nodes, nil
+}
+
+// isTransport reports whether err is a connection-level failure (vs a
+// protocol-level result like ErrNotFound).
+func isTransport(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, ErrNotFound),
+		errors.Is(err, ErrNotStored),
+		errors.Is(err, ErrExists),
+		errors.Is(err, ErrClient),
+		errors.Is(err, ErrServer),
+		errors.Is(err, ErrProtocol):
+		return false
+	}
+	return true
+}
+
+// Get reads a key, trying each replica in preference order on miss or
+// node failure.
+func (c *ClusterClient) Get(key string) (Item, error) {
+	owners, err := c.ownersFor(key)
+	if err != nil {
+		return Item{}, err
+	}
+	lastErr := error(ErrNotFound)
+	for _, addr := range owners {
+		conn, err := c.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		it, err := conn.Get(key)
+		if err == nil {
+			return it, nil
+		}
+		if isTransport(err) {
+			c.dropConn(addr)
+		}
+		lastErr = err
+	}
+	return Item{}, lastErr
+}
+
+// Set writes a key to all replicas; it succeeds if at least one replica
+// stored the value and reports the first error otherwise.
+func (c *ClusterClient) Set(key string, value []byte, flags uint32, exptime int64) error {
+	owners, err := c.ownersFor(key)
+	if err != nil {
+		return err
+	}
+	stored := 0
+	var firstErr error
+	for _, addr := range owners {
+		conn, err := c.conn(addr)
+		if err == nil {
+			err = conn.Set(key, value, flags, exptime)
+		}
+		if err == nil {
+			stored++
+			continue
+		}
+		if isTransport(err) {
+			c.dropConn(addr)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if stored > 0 {
+		return nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("kvclient: set %q stored on no replica", key)
+	}
+	return firstErr
+}
+
+// Delete removes a key from every replica; ErrNotFound only if no
+// replica had it.
+func (c *ClusterClient) Delete(key string) error {
+	owners, err := c.ownersFor(key)
+	if err != nil {
+		return err
+	}
+	deleted := 0
+	var firstErr error
+	for _, addr := range owners {
+		conn, err := c.conn(addr)
+		if err == nil {
+			err = conn.Delete(key)
+		}
+		switch {
+		case err == nil:
+			deleted++
+		case errors.Is(err, ErrNotFound):
+		default:
+			if isTransport(err) {
+				c.dropConn(addr)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if deleted > 0 {
+		return nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ErrNotFound
+}
+
+// Close shuts every connection.
+func (c *ClusterClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, conn := range c.conns {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+	return nil
+}

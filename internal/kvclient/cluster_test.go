@@ -1,0 +1,147 @@
+package kvclient_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"kv3d/internal/kvclient"
+	"kv3d/internal/kvserver"
+	"kv3d/internal/kvstore"
+)
+
+func startNode(t *testing.T) (*kvserver.Server, string) {
+	t.Helper()
+	st, err := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := kvserver.New(st, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr().String()
+}
+
+func startCluster(t *testing.T, n, replicas int) (*kvclient.ClusterClient, []string, map[string]*kvserver.Server) {
+	t.Helper()
+	var addrs []string
+	servers := map[string]*kvserver.Server{}
+	for i := 0; i < n; i++ {
+		srv, addr := startNode(t)
+		addrs = append(addrs, addr)
+		servers[addr] = srv
+	}
+	cc, err := kvclient.NewCluster(kvclient.ClusterConfig{Addrs: addrs, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return cc, addrs, servers
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := kvclient.NewCluster(kvclient.ClusterConfig{}); !errors.Is(err, kvclient.ErrNoNodes) {
+		t.Fatalf("empty cluster err = %v", err)
+	}
+}
+
+func TestClusterSetGetAcrossNodes(t *testing.T) {
+	cc, _, servers := startCluster(t, 4, 1)
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := cc.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		it, err := cc.Get(fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatalf("get k%d: %v", i, err)
+		}
+		if string(it.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q", i, it.Value)
+		}
+	}
+	// Keys must actually be spread: every server should hold some.
+	for addr, srv := range servers {
+		if srv.Store().ItemCount() == 0 {
+			t.Errorf("node %s holds no keys", addr)
+		}
+	}
+}
+
+func TestClusterMiss(t *testing.T) {
+	cc, _, _ := startCluster(t, 2, 1)
+	if _, err := cc.Get("absent"); !errors.Is(err, kvclient.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cc.Delete("absent"); !errors.Is(err, kvclient.ErrNotFound) {
+		t.Fatalf("delete err = %v", err)
+	}
+}
+
+func TestClusterDelete(t *testing.T) {
+	cc, _, _ := startCluster(t, 3, 1)
+	cc.Set("k", []byte("v"), 0, 0)
+	if err := cc.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Get("k"); !errors.Is(err, kvclient.ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+}
+
+func TestClusterReplicationSurvivesNodeLoss(t *testing.T) {
+	cc, _, servers := startCluster(t, 4, 2)
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		if err := cc.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill one node (keep it on the ring: the client must fail over).
+	var victim string
+	for addr, srv := range servers {
+		victim = addr
+		srv.Close()
+		break
+	}
+	hits := 0
+	for i := 0; i < keys; i++ {
+		if _, err := cc.Get(fmt.Sprintf("k%d", i)); err == nil {
+			hits++
+		}
+	}
+	if hits != keys {
+		t.Fatalf("with R=2, all keys must survive one node loss; got %d/%d (victim %s)", hits, keys, victim)
+	}
+}
+
+func TestClusterRemoveNodeRebalances(t *testing.T) {
+	cc, addrs, _ := startCluster(t, 3, 1)
+	cc.Set("stable-key", []byte("v"), 0, 0)
+	cc.RemoveNode(addrs[0])
+	if got := len(cc.Nodes()); got != 2 {
+		t.Fatalf("nodes = %d", got)
+	}
+	// Writes must still work after removal.
+	if err := cc.Set("after", []byte("v2"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Get("after"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSingleNodeDownWritesFail(t *testing.T) {
+	cc, _, servers := startCluster(t, 1, 1)
+	for _, srv := range servers {
+		srv.Close()
+	}
+	if err := cc.Set("k", []byte("v"), 0, 0); err == nil {
+		t.Fatal("set must fail with every replica down")
+	}
+}

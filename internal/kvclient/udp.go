@@ -1,0 +1,127 @@
+package kvclient
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// UDPClient speaks the memcached UDP frame format: an 8-byte header
+// (request id, sequence, datagram count, reserved) before the ASCII
+// payload. It reassembles multi-datagram responses. Facebook's
+// deployment used UDP for GETs only; this client supports GETs and
+// treats everything else as out of scope.
+type UDPClient struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	nextID  uint16
+	buf     []byte
+}
+
+// ErrUDPTimeout is returned when a response datagram never arrives
+// (UDP is fire-and-forget: the caller should fall back to TCP).
+var ErrUDPTimeout = errors.New("kvclient: udp response timed out")
+
+// DialUDP connects a UDP client to a server address.
+func DialUDP(addr string, timeout time.Duration) (*UDPClient, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, uaddr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &UDPClient{conn: conn, timeout: timeout, buf: make([]byte, 64<<10)}, nil
+}
+
+// Close releases the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// Get fetches one key over UDP.
+func (c *UDPClient) Get(key string) (Item, error) {
+	c.nextID++
+	reqID := c.nextID
+	payload := "get " + key + "\r\n"
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(frame[0:], reqID)
+	binary.BigEndian.PutUint16(frame[4:], 1)
+	copy(frame[8:], payload)
+	if _, err := c.conn.Write(frame); err != nil {
+		return Item{}, err
+	}
+
+	// Collect datagrams until all fragments for this request arrive.
+	deadline := time.Now().Add(c.timeout)
+	frags := map[uint16][]byte{}
+	total := -1
+	for {
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return Item{}, err
+		}
+		n, err := c.conn.Read(c.buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return Item{}, ErrUDPTimeout
+			}
+			return Item{}, err
+		}
+		if n < 8 || binary.BigEndian.Uint16(c.buf[0:]) != reqID {
+			continue // stale or foreign datagram
+		}
+		seq := binary.BigEndian.Uint16(c.buf[2:])
+		total = int(binary.BigEndian.Uint16(c.buf[4:]))
+		body := make([]byte, n-8)
+		copy(body, c.buf[8:n])
+		frags[seq] = body
+		if total > 0 && len(frags) == total {
+			break
+		}
+	}
+	// Reassemble in sequence order.
+	seqs := make([]int, 0, len(frags))
+	for s := range frags {
+		seqs = append(seqs, int(s))
+	}
+	sort.Ints(seqs)
+	var resp bytes.Buffer
+	for _, s := range seqs {
+		resp.Write(frags[uint16(s)])
+	}
+	return parseSingleGet(resp.String(), key)
+}
+
+// parseSingleGet decodes a one-key "VALUE ...\r\n<data>\r\nEND\r\n"
+// response.
+func parseSingleGet(resp, key string) (Item, error) {
+	if strings.HasPrefix(resp, "END\r\n") {
+		return Item{}, ErrNotFound
+	}
+	header, rest, ok := strings.Cut(resp, "\r\n")
+	if !ok {
+		return Item{}, fmt.Errorf("%w: truncated response %q", ErrProtocol, resp)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 4 || fields[0] != "VALUE" || fields[1] != key {
+		return Item{}, classify(header)
+	}
+	flags, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Item{}, fmt.Errorf("%w: bad flags %q", ErrProtocol, fields[2])
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 || len(rest) < n {
+		return Item{}, fmt.Errorf("%w: bad length %q", ErrProtocol, fields[3])
+	}
+	return Item{Key: key, Value: []byte(rest[:n]), Flags: uint32(flags)}, nil
+}

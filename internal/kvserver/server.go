@@ -1,0 +1,197 @@
+// Package kvserver runs a memcached-compatible TCP server on top of
+// kvstore and protocol. One goroutine per connection, graceful shutdown,
+// connection accounting.
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kv3d/internal/kvstore"
+	"kv3d/internal/protocol"
+)
+
+// Options tune server-level limits. The zero value means unlimited.
+type Options struct {
+	// MaxConns caps simultaneous connections; further accepts are
+	// closed immediately (memcached's -c).
+	MaxConns int
+	// IdleTimeout closes connections with no traffic for this long.
+	IdleTimeout time.Duration
+}
+
+// Server accepts memcached protocol connections and serves a Store.
+type Server struct {
+	store *kvstore.Store
+	opts  Options
+	ln    net.Listener
+	log   *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	active   atomic.Int64
+}
+
+// New creates a server for the given store. logger may be nil to
+// silence per-connection errors.
+func New(store *kvstore.Store, logger *log.Logger) *Server {
+	return NewWithOptions(store, logger, Options{})
+}
+
+// NewWithOptions creates a server with explicit limits.
+func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Server {
+	return &Server{store: store, log: logger, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the address (e.g. "127.0.0.1:11211"). Use port :0 for an
+// ephemeral port; Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the listener address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("kvserver: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			conn.Close()
+			s.rejected.Add(1)
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.active.Add(-1)
+	}()
+	var rw io.ReadWriter = conn
+	if s.opts.IdleTimeout > 0 {
+		rw = &deadlineRW{conn: conn, timeout: s.opts.IdleTimeout}
+	}
+	// Sniff the first byte: 0x80 selects the binary protocol, anything
+	// else the ASCII protocol — the same dual-listener behaviour as
+	// memcached's auto-negotiation.
+	br := bufio.NewReaderSize(rw, 64<<10)
+	bw := bufio.NewWriterSize(rw, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // connection closed before any request
+	}
+	if first[0] == protocol.MagicRequest {
+		err = protocol.NewBinarySessionBuffered(s.store, br, bw).Serve()
+	} else {
+		err = protocol.NewSessionBuffered(s.store, br, bw).Serve()
+	}
+	if err != nil && s.log != nil {
+		s.log.Printf("kvserver: connection %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// deadlineRW arms an idle deadline before every read and write so a
+// silent connection eventually errors out and closes.
+type deadlineRW struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	if err := d.conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.conn.Read(p)
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	if err := d.conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.conn.Write(p)
+}
+
+// Accepted reports the total number of accepted connections.
+func (s *Server) Accepted() uint64 { return s.accepted.Load() }
+
+// Rejected reports connections refused by the MaxConns limit.
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+
+// Active reports currently open connections.
+func (s *Server) Active() int64 { return s.active.Load() }
+
+// Store exposes the underlying store (for stats in tools).
+func (s *Server) Store() *kvstore.Store { return s.store }

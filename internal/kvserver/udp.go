@@ -1,0 +1,158 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+
+	"kv3d/internal/kvstore"
+	"kv3d/internal/protocol"
+)
+
+// UDP support. Facebook served memcached GETs over UDP to dodge exactly
+// the TCP-stack costs the paper's Figure 4 measures (~87% of request
+// time); the frame format is memcached's: an 8-byte header — request id,
+// sequence number, datagram count, reserved — followed by the ASCII
+// payload. Responses larger than one datagram are split with increasing
+// sequence numbers.
+const (
+	udpHeaderLen  = 8
+	udpMaxPayload = 1400 - udpHeaderLen
+	udpReadBuffer = 64 << 10
+)
+
+// UDPServer answers memcached ASCII commands over UDP.
+type UDPServer struct {
+	store *kvstore.Store
+	conn  *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+
+	handled uint64
+	dropped uint64
+	statsMu sync.Mutex
+}
+
+// ListenUDP binds a UDP memcached endpoint for the server's store.
+func (s *Server) ListenUDP(addr string) (*UDPServer, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	u := &UDPServer{store: s.store, conn: conn}
+	go u.serve()
+	return u, nil
+}
+
+// Addr reports the bound UDP address.
+func (u *UDPServer) Addr() net.Addr { return u.conn.LocalAddr() }
+
+// Close stops the UDP listener.
+func (u *UDPServer) Close() error {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	return u.conn.Close()
+}
+
+// Handled reports successfully answered datagrams.
+func (u *UDPServer) Handled() uint64 {
+	u.statsMu.Lock()
+	defer u.statsMu.Unlock()
+	return u.handled
+}
+
+// Dropped reports malformed datagrams that were ignored.
+func (u *UDPServer) Dropped() uint64 {
+	u.statsMu.Lock()
+	defer u.statsMu.Unlock()
+	return u.dropped
+}
+
+func (u *UDPServer) serve() {
+	buf := make([]byte, udpReadBuffer)
+	for {
+		n, peer, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		if n < udpHeaderLen {
+			u.drop()
+			continue
+		}
+		reqID := binary.BigEndian.Uint16(buf[0:])
+		// buf[2:4] sequence, buf[4:6] datagram count: requests fit one
+		// datagram, so anything fragmented is dropped like memcached does.
+		if binary.BigEndian.Uint16(buf[2:]) != 0 || binary.BigEndian.Uint16(buf[4:]) > 1 {
+			u.drop()
+			continue
+		}
+		payload := make([]byte, n-udpHeaderLen)
+		copy(payload, buf[udpHeaderLen:n])
+		go u.handle(reqID, payload, peer)
+	}
+}
+
+func (u *UDPServer) drop() {
+	u.statsMu.Lock()
+	u.dropped++
+	u.statsMu.Unlock()
+}
+
+// udpExchange adapts a request datagram and a response buffer to the
+// io.ReadWriter the protocol session expects.
+type udpExchange struct {
+	in  *bytes.Reader
+	out bytes.Buffer
+}
+
+func (e *udpExchange) Read(p []byte) (int, error)  { return e.in.Read(p) }
+func (e *udpExchange) Write(p []byte) (int, error) { return e.out.Write(p) }
+
+// handle runs the ASCII command(s) in one datagram and sends the
+// (possibly fragmented) response.
+func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
+	rw := &udpExchange{in: bytes.NewReader(payload)}
+	sess := protocol.NewSession(u.store, rw)
+	// Errors end the session; whatever was produced still goes back.
+	_ = sess.Serve()
+
+	resp := rw.out.Bytes()
+	total := (len(resp) + udpMaxPayload - 1) / udpMaxPayload
+	if total == 0 {
+		total = 1
+	}
+	if total > 0xffff {
+		u.drop()
+		return
+	}
+	frame := make([]byte, udpHeaderLen+udpMaxPayload)
+	binary.BigEndian.PutUint16(frame[0:], reqID)
+	binary.BigEndian.PutUint16(frame[4:], uint16(total))
+	for seq := 0; seq < total; seq++ {
+		binary.BigEndian.PutUint16(frame[2:], uint16(seq))
+		chunk := resp[seq*udpMaxPayload:]
+		if len(chunk) > udpMaxPayload {
+			chunk = chunk[:udpMaxPayload]
+		}
+		n := copy(frame[udpHeaderLen:], chunk)
+		if _, err := u.conn.WriteToUDP(frame[:udpHeaderLen+n], peer); err != nil {
+			return
+		}
+	}
+	u.statsMu.Lock()
+	u.handled++
+	u.statsMu.Unlock()
+}

@@ -1,0 +1,43 @@
+package kvstore
+
+// item is the in-memory representation of one stored object. The value
+// bytes live in a slab chunk owned by the shard's allocator; the struct
+// itself is garbage-collected Go memory (the chunk is the part memcached
+// actually fights fragmentation over).
+type item struct {
+	key      string
+	data     []byte   // value bytes: data[:valueLen] within the slab chunk
+	ref      chunkRef // backing chunk, returned to the allocator on free
+	valueLen int
+
+	flags    uint32
+	casID    uint64
+	expireAt int64 // unix seconds; 0 = never
+	storedAt int64 // unix seconds when (re)stored; for flush_all epochs
+
+	classIdx int
+
+	// Hash chain.
+	hnext *item
+
+	// Eviction policy links. For strict LRU these form the class's LRU
+	// list; for Bags they form the item's bag list.
+	prev, next *item
+	bag        *bag  // non-nil only under the Bags policy
+	accessedAt int64 // unix seconds of last read (Bags second-chance)
+}
+
+// value returns the live value bytes.
+func (it *item) value() []byte { return it.data[:it.valueLen] }
+
+// expired reports whether the item is past its TTL at time now.
+func (it *item) expired(now int64) bool {
+	return it.expireAt != 0 && now >= it.expireAt
+}
+
+// size returns the accounting footprint of the item: memcached charges
+// key + value + a fixed per-item overhead against the slab chunk.
+func itemFootprint(keyLen, valueLen int) int {
+	const perItemOverhead = 48 // struct bookkeeping, mirrors memcached's ~48B
+	return keyLen + valueLen + perItemOverhead
+}

@@ -1,0 +1,235 @@
+package kvstore
+
+// EvictionPolicy selects how a shard chooses eviction victims.
+type EvictionPolicy int
+
+const (
+	// PolicyLRU is memcached's classic strict LRU: every hit moves the
+	// item to the head of its class list, which requires the cache lock
+	// on the read path (the memcached 1.4 bottleneck).
+	PolicyLRU EvictionPolicy = iota
+	// PolicyBags is the Wiggins & Langston pseudo-LRU: items sit in
+	// insertion-ordered bags, reads only stamp a timestamp, and eviction
+	// gives recently-read items a second chance. Reads never reorder.
+	PolicyBags
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyBags:
+		return "bags"
+	default:
+		return "unknown"
+	}
+}
+
+// policy is the per-shard eviction strategy. All methods run under the
+// shard lock.
+type policy interface {
+	onInsert(it *item, now int64)
+	onAccess(it *item, now int64)
+	onRemove(it *item)
+	// victim returns the next eviction candidate for a class, or nil if
+	// the class holds no items.
+	victim(classIdx int, now int64) *item
+}
+
+// --- strict LRU -----------------------------------------------------------
+
+// lruList is an intrusive doubly-linked list, head = MRU, tail = LRU.
+type lruList struct {
+	head, tail *item
+	size       int
+}
+
+func (l *lruList) pushFront(it *item) {
+	it.prev = nil
+	it.next = l.head
+	if l.head != nil {
+		l.head.prev = it
+	}
+	l.head = it
+	if l.tail == nil {
+		l.tail = it
+	}
+	l.size++
+}
+
+func (l *lruList) remove(it *item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		l.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		l.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+	l.size--
+}
+
+func (l *lruList) moveToFront(it *item) {
+	if l.head == it {
+		return
+	}
+	l.remove(it)
+	l.pushFront(it)
+}
+
+type lruPolicy struct {
+	lists []lruList // one per slab class
+}
+
+func newLRUPolicy(classes int) *lruPolicy {
+	return &lruPolicy{lists: make([]lruList, classes)}
+}
+
+func (p *lruPolicy) onInsert(it *item, now int64) { p.lists[it.classIdx].pushFront(it) }
+func (p *lruPolicy) onAccess(it *item, now int64) {
+	it.accessedAt = now
+	p.lists[it.classIdx].moveToFront(it)
+}
+func (p *lruPolicy) onRemove(it *item) { p.lists[it.classIdx].remove(it) }
+func (p *lruPolicy) victim(classIdx int, now int64) *item {
+	return p.lists[classIdx].tail
+}
+
+// --- Bags pseudo-LRU ------------------------------------------------------
+
+const (
+	bagCapacity      = 1024 // items per bag before a new bag opens
+	maxSecondChances = 8    // bounded scan per victim() call
+)
+
+// bag is a FIFO of items inserted in the same era.
+type bag struct {
+	head, tail *item
+	size       int
+	createdAt  int64
+	next       *bag
+}
+
+func (b *bag) pushBack(it *item) {
+	it.prev = b.tail
+	it.next = nil
+	if b.tail != nil {
+		b.tail.next = it
+	}
+	b.tail = it
+	if b.head == nil {
+		b.head = it
+	}
+	it.bag = b
+	b.size++
+}
+
+func (b *bag) remove(it *item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		b.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		b.tail = it.prev
+	}
+	it.prev, it.next, it.bag = nil, nil, nil
+	b.size--
+}
+
+// bagChain is the per-class ordered chain of bags, oldest first.
+type bagChain struct {
+	oldest, newest *bag
+}
+
+func (c *bagChain) appendItem(it *item, now int64) {
+	if c.newest == nil || c.newest.size >= bagCapacity {
+		nb := &bag{createdAt: now}
+		if c.newest != nil {
+			c.newest.next = nb
+		} else {
+			c.oldest = nb
+		}
+		c.newest = nb
+	}
+	c.newest.pushBack(it)
+}
+
+func (c *bagChain) dropEmptyOldest() {
+	for c.oldest != nil && c.oldest.size == 0 && c.oldest != c.newest {
+		c.oldest = c.oldest.next
+	}
+}
+
+type bagsPolicy struct {
+	chains []bagChain
+}
+
+func newBagsPolicy(classes int) *bagsPolicy {
+	return &bagsPolicy{chains: make([]bagChain, classes)}
+}
+
+func (p *bagsPolicy) onInsert(it *item, now int64) {
+	p.chains[it.classIdx].appendItem(it, now)
+}
+
+// onAccess only stamps the access time — no list surgery, which is the
+// whole point of the Bags design.
+func (p *bagsPolicy) onAccess(it *item, now int64) { it.accessedAt = now }
+
+func (p *bagsPolicy) onRemove(it *item) {
+	if it.bag != nil {
+		b := it.bag
+		b.remove(it)
+		_ = b
+	}
+	c := &p.chains[it.classIdx]
+	c.dropEmptyOldest()
+}
+
+func (p *bagsPolicy) victim(classIdx int, now int64) *item {
+	c := &p.chains[classIdx]
+	c.dropEmptyOldest()
+	for tries := 0; tries < maxSecondChances; tries++ {
+		b := c.oldest
+		for b != nil && b.size == 0 {
+			b = b.next
+		}
+		if b == nil {
+			return nil
+		}
+		it := b.head
+		if it.accessedAt > b.createdAt {
+			// Second chance: accessed since this bag era began; move to
+			// the newest bag so it survives this eviction pass.
+			b.remove(it)
+			c.appendItem(it, now)
+			c.dropEmptyOldest()
+			continue
+		}
+		return it
+	}
+	// Scan budget exhausted: fall back to the literal oldest item.
+	b := c.oldest
+	for b != nil && b.size == 0 {
+		b = b.next
+	}
+	if b == nil {
+		return nil
+	}
+	return b.head
+}
+
+func newPolicy(kind EvictionPolicy, classes int) policy {
+	switch kind {
+	case PolicyBags:
+		return newBagsPolicy(classes)
+	default:
+		return newLRUPolicy(classes)
+	}
+}

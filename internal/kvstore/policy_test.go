@@ -1,0 +1,199 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newTestItem(key string, class int) *item {
+	return &item{key: key, classIdx: class}
+}
+
+func TestLRUVictimIsLeastRecentlyUsed(t *testing.T) {
+	p := newLRUPolicy(4)
+	a, b, c := newTestItem("a", 0), newTestItem("b", 0), newTestItem("c", 0)
+	p.onInsert(a, 1)
+	p.onInsert(b, 2)
+	p.onInsert(c, 3)
+	if v := p.victim(0, 4); v != a {
+		t.Fatalf("victim = %v, want a", v.key)
+	}
+	p.onAccess(a, 5) // a becomes MRU
+	if v := p.victim(0, 6); v != b {
+		t.Fatalf("after access, victim = %v, want b", v.key)
+	}
+}
+
+func TestLRUVictimPerClass(t *testing.T) {
+	p := newLRUPolicy(2)
+	a := newTestItem("a", 0)
+	b := newTestItem("b", 1)
+	p.onInsert(a, 1)
+	p.onInsert(b, 1)
+	if v := p.victim(0, 2); v != a {
+		t.Fatal("class 0 victim should be a")
+	}
+	if v := p.victim(1, 2); v != b {
+		t.Fatal("class 1 victim should be b")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	p := newLRUPolicy(1)
+	a, b := newTestItem("a", 0), newTestItem("b", 0)
+	p.onInsert(a, 1)
+	p.onInsert(b, 2)
+	p.onRemove(a)
+	if v := p.victim(0, 3); v != b {
+		t.Fatal("after removing a, victim should be b")
+	}
+	p.onRemove(b)
+	if v := p.victim(0, 4); v != nil {
+		t.Fatal("empty class should have no victim")
+	}
+}
+
+func TestLRUListInvariants(t *testing.T) {
+	var l lruList
+	items := make([]*item, 10)
+	for i := range items {
+		items[i] = newTestItem(fmt.Sprintf("i%d", i), 0)
+		l.pushFront(items[i])
+	}
+	if l.size != 10 {
+		t.Fatalf("size = %d", l.size)
+	}
+	// Walk head->tail and tail->head; both must see 10 items.
+	n := 0
+	for it := l.head; it != nil; it = it.next {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("forward walk saw %d", n)
+	}
+	n = 0
+	for it := l.tail; it != nil; it = it.prev {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("backward walk saw %d", n)
+	}
+	// moveToFront of the tail.
+	l.moveToFront(items[0])
+	if l.head != items[0] {
+		t.Fatal("moveToFront failed")
+	}
+	if l.size != 10 {
+		t.Fatalf("size changed to %d", l.size)
+	}
+	// Remove the middle.
+	l.remove(items[5])
+	if l.size != 9 {
+		t.Fatalf("size = %d after remove", l.size)
+	}
+	for it := l.head; it != nil; it = it.next {
+		if it == items[5] {
+			t.Fatal("removed item still linked")
+		}
+	}
+}
+
+func TestBagsVictimFIFOWhenUntouched(t *testing.T) {
+	p := newBagsPolicy(1)
+	a, b, c := newTestItem("a", 0), newTestItem("b", 0), newTestItem("c", 0)
+	p.onInsert(a, 100)
+	p.onInsert(b, 101)
+	p.onInsert(c, 102)
+	if v := p.victim(0, 200); v != a {
+		t.Fatalf("victim = %q, want a", v.key)
+	}
+}
+
+func TestBagsSecondChance(t *testing.T) {
+	p := newBagsPolicy(1)
+	a, b := newTestItem("a", 0), newTestItem("b", 0)
+	p.onInsert(a, 100)
+	p.onInsert(b, 100)
+	// Access a after its bag era began: it deserves a second chance.
+	p.onAccess(a, 150)
+	v := p.victim(0, 200)
+	if v != b {
+		t.Fatalf("victim = %q, want b (a was recently read)", v.key)
+	}
+}
+
+func TestBagsAccessDoesNotReorder(t *testing.T) {
+	// Unlike LRU, a read of an old item must not move list pointers —
+	// only the timestamp changes. We verify by checking it stays in the
+	// same bag.
+	p := newBagsPolicy(1)
+	a := newTestItem("a", 0)
+	p.onInsert(a, 100)
+	bagBefore := a.bag
+	p.onAccess(a, 150)
+	if a.bag != bagBefore {
+		t.Fatal("bags access must not rebag the item")
+	}
+}
+
+func TestBagsNewBagAfterCapacity(t *testing.T) {
+	p := newBagsPolicy(1)
+	items := make([]*item, bagCapacity+1)
+	for i := range items {
+		items[i] = newTestItem(fmt.Sprintf("i%d", i), 0)
+		p.onInsert(items[i], int64(100+i))
+	}
+	if items[0].bag == items[bagCapacity].bag {
+		t.Fatal("overflow item should land in a fresh bag")
+	}
+}
+
+func TestBagsEmptyClass(t *testing.T) {
+	p := newBagsPolicy(2)
+	if p.victim(0, 100) != nil {
+		t.Fatal("empty class must yield no victim")
+	}
+	a := newTestItem("a", 0)
+	p.onInsert(a, 100)
+	p.onRemove(a)
+	if p.victim(0, 200) != nil {
+		t.Fatal("class must be empty again after removal")
+	}
+}
+
+func TestBagsBoundedSecondChanceScan(t *testing.T) {
+	// If everything was recently accessed the scan budget must still
+	// terminate and return some victim.
+	p := newBagsPolicy(1)
+	var items []*item
+	for i := 0; i < 100; i++ {
+		it := newTestItem(fmt.Sprintf("i%d", i), 0)
+		p.onInsert(it, 100)
+		items = append(items, it)
+	}
+	for _, it := range items {
+		p.onAccess(it, 500)
+	}
+	// All items hot: victim must still return non-nil.
+	if v := p.victim(0, 1000); v == nil {
+		t.Fatal("victim must not return nil for a populated class")
+	}
+}
+
+func TestPolicyFactory(t *testing.T) {
+	if _, ok := newPolicy(PolicyLRU, 3).(*lruPolicy); !ok {
+		t.Fatal("PolicyLRU should build lruPolicy")
+	}
+	if _, ok := newPolicy(PolicyBags, 3).(*bagsPolicy); !ok {
+		t.Fatal("PolicyBags should build bagsPolicy")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyLRU.String() != "lru" || PolicyBags.String() != "bags" {
+		t.Fatal("policy names wrong")
+	}
+	if EvictionPolicy(99).String() != "unknown" {
+		t.Fatal("unknown policy name wrong")
+	}
+}

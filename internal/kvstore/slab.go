@@ -1,0 +1,241 @@
+// Package kvstore implements a memcached-compatible in-memory key-value
+// store: a slab allocator with page reassignment, a hash table with
+// incremental rehashing, strict-LRU and Bags pseudo-LRU eviction, TTLs,
+// CAS, and the usual verb set. It is both the functional substrate for
+// the kv3d examples and TCP server, and the reference the timing models'
+// cost parameters were derived from.
+//
+// Concurrency follows the designs the paper benchmarks against
+// (Wiggins & Langston): ModeGlobal serializes everything behind one lock
+// (memcached 1.4), ModeStriped shards the keyspace (memcached 1.6
+// fine-grained locking), and the Bags eviction policy removes LRU
+// reordering from the read path.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slab allocator defaults mirroring memcached's.
+const (
+	DefaultBaseChunkSize = 96
+	DefaultGrowthFactor  = 1.25
+	DefaultSlabPageSize  = 1 << 20 // 1 MiB
+	DefaultMaxItemSize   = 1 << 20
+)
+
+// slabPage is one contiguous allocation carved into equal chunks. Pages
+// can be reassigned between classes once their live chunks are evicted
+// (memcached's slab_reassign, the cure for slab calcification).
+type slabPage struct {
+	buf   []byte
+	class int // owning class index
+	live  int // chunks currently handed out
+}
+
+// chunkRef is a chunk plus its backing page, so release and page
+// reassignment know where a chunk came from.
+type chunkRef struct {
+	data []byte
+	page *slabPage
+}
+
+// slabClass manages chunks of a single size.
+type slabClass struct {
+	chunkSize int
+	free      []chunkRef
+	pages     []*slabPage
+	allocated int // chunks handed out
+}
+
+// slabAllocator carves fixed-size pages into per-class chunks. It tracks
+// total page bytes against a memory limit; when the limit is reached,
+// alloc returns a zero chunkRef and the caller must evict or reassign.
+type slabAllocator struct {
+	classes   []slabClass
+	pageSize  int
+	memLimit  int64
+	pageBytes int64
+	reassigns uint64
+}
+
+// newSlabAllocator builds the size-class ladder: chunk sizes start at
+// base and grow by factor, aligned to 8 bytes, capped at pageSize.
+func newSlabAllocator(base int, factor float64, pageSize int, memLimit int64) (*slabAllocator, error) {
+	if base <= 0 || pageSize <= 0 || memLimit <= 0 {
+		return nil, fmt.Errorf("kvstore: non-positive slab parameter (base=%d page=%d limit=%d)", base, pageSize, memLimit)
+	}
+	if factor <= 1.0 {
+		return nil, fmt.Errorf("kvstore: growth factor %v must exceed 1.0", factor)
+	}
+	if int64(pageSize) > memLimit {
+		return nil, fmt.Errorf("kvstore: page size %d exceeds memory limit %d", pageSize, memLimit)
+	}
+	a := &slabAllocator{pageSize: pageSize, memLimit: memLimit}
+	size := base
+	for size < pageSize {
+		a.classes = append(a.classes, slabClass{chunkSize: align8(size)})
+		next := int(float64(size) * factor)
+		if next <= size {
+			next = size + 8
+		}
+		size = next
+	}
+	a.classes = append(a.classes, slabClass{chunkSize: pageSize})
+	return a, nil
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// classFor returns the index of the smallest class whose chunks fit size.
+func (a *slabAllocator) classFor(size int) (int, bool) {
+	if size <= 0 {
+		size = 1
+	}
+	i := sort.Search(len(a.classes), func(i int) bool {
+		return a.classes[i].chunkSize >= size
+	})
+	if i == len(a.classes) {
+		return 0, false
+	}
+	return i, true
+}
+
+// chunkSize reports the chunk size of class i.
+func (a *slabAllocator) chunkSize(i int) int { return a.classes[i].chunkSize }
+
+// numClasses reports how many size classes exist.
+func (a *slabAllocator) numClasses() int { return len(a.classes) }
+
+// carve splits a page into chunks for class i and free-lists them.
+func (a *slabAllocator) carve(page *slabPage, i int) {
+	c := &a.classes[i]
+	page.class = i
+	page.live = 0
+	n := a.pageSize / c.chunkSize
+	for k := 0; k < n; k++ {
+		c.free = append(c.free, chunkRef{
+			data: page.buf[k*c.chunkSize : (k+1)*c.chunkSize],
+			page: page,
+		})
+	}
+}
+
+// alloc returns a chunk for class i, growing the class by one page if
+// the memory limit allows. A zero ref (nil data) means the caller must
+// evict or reassign.
+func (a *slabAllocator) alloc(i int) chunkRef {
+	c := &a.classes[i]
+	if n := len(c.free); n > 0 {
+		ref := c.free[n-1]
+		c.free[n-1] = chunkRef{}
+		c.free = c.free[:n-1]
+		c.allocated++
+		ref.page.live++
+		return ref
+	}
+	if a.pageBytes+int64(a.pageSize) > a.memLimit {
+		return chunkRef{}
+	}
+	page := &slabPage{buf: make([]byte, a.pageSize)}
+	a.pageBytes += int64(a.pageSize)
+	c.pages = append(c.pages, page)
+	a.carve(page, i)
+	return a.alloc(i)
+}
+
+// release returns a chunk to class i's free list.
+func (a *slabAllocator) release(i int, ref chunkRef) {
+	c := &a.classes[i]
+	c.allocated--
+	ref.page.live--
+	ref.data = ref.data[:c.chunkSize]
+	c.free = append(c.free, ref)
+}
+
+// canGrow reports whether a new page would fit under the memory limit.
+func (a *slabAllocator) canGrow() bool {
+	return a.pageBytes+int64(a.pageSize) <= a.memLimit
+}
+
+// PageBytes reports total bytes of slab pages allocated.
+func (a *slabAllocator) PageBytes() int64 { return a.pageBytes }
+
+// Reassigns reports how many pages have moved between classes.
+func (a *slabAllocator) Reassigns() uint64 { return a.reassigns }
+
+// freeDonor finds a page with no live chunks in any other class — the
+// cheap reassignment that needs no evictions.
+func (a *slabAllocator) freeDonor(target int) *slabPage {
+	for i := range a.classes {
+		if i == target {
+			continue
+		}
+		for _, p := range a.classes[i].pages {
+			if p.live == 0 {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// liveDonor picks the page to sacrifice for a starving class: from the
+// class with the most pages (excluding the target), the page with the
+// fewest live chunks. Returns nil when no class can donate. Callers
+// must rate-limit this path — it evicts live items wholesale.
+func (a *slabAllocator) liveDonor(target int) *slabPage {
+	donorClass := -1
+	for i := range a.classes {
+		if i == target || len(a.classes[i].pages) == 0 {
+			continue
+		}
+		if donorClass < 0 || len(a.classes[i].pages) > len(a.classes[donorClass].pages) {
+			donorClass = i
+		}
+	}
+	if donorClass < 0 {
+		return nil
+	}
+	var page *slabPage
+	for _, p := range a.classes[donorClass].pages {
+		if page == nil || p.live < page.live {
+			page = p
+		}
+	}
+	return page
+}
+
+// completeReassign moves a page (whose live count the caller has driven
+// to zero by evicting its items) from its class to the target class.
+func (a *slabAllocator) completeReassign(page *slabPage, target int) error {
+	if page.live != 0 {
+		return fmt.Errorf("kvstore: reassigning page with %d live chunks", page.live)
+	}
+	from := &a.classes[page.class]
+	// Unlink the page from its old class.
+	for i, p := range from.pages {
+		if p == page {
+			from.pages = append(from.pages[:i], from.pages[i+1:]...)
+			break
+		}
+	}
+	// Drop its free chunks from the old class's free list.
+	kept := from.free[:0]
+	for _, ref := range from.free {
+		if ref.page != page {
+			kept = append(kept, ref)
+		}
+	}
+	for i := len(kept); i < len(from.free); i++ {
+		from.free[i] = chunkRef{}
+	}
+	from.free = kept
+	// Re-carve for the target class.
+	to := &a.classes[target]
+	to.pages = append(to.pages, page)
+	a.carve(page, target)
+	a.reassigns++
+	return nil
+}

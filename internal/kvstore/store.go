@@ -1,0 +1,436 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConcurrencyMode selects the locking design of a Store.
+type ConcurrencyMode int
+
+const (
+	// ModeGlobal serializes every operation behind one mutex, matching
+	// memcached 1.4's global cache lock.
+	ModeGlobal ConcurrencyMode = iota
+	// ModeStriped partitions the keyspace into independently locked
+	// shards, matching memcached 1.6's fine-grained locking.
+	ModeStriped
+)
+
+func (m ConcurrencyMode) String() string {
+	switch m {
+	case ModeGlobal:
+		return "global"
+	case ModeStriped:
+		return "striped"
+	default:
+		return "unknown"
+	}
+}
+
+// Clock abstracts wall time (unix seconds) so tests and simulations can
+// drive expiry deterministically.
+type Clock func() int64
+
+// Config configures a Store. The zero value is not usable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// MemoryLimit is the total slab budget in bytes across all shards.
+	MemoryLimit int64
+	// Mode selects global vs striped locking.
+	Mode ConcurrencyMode
+	// Shards is the stripe count for ModeStriped (power of two enforced).
+	Shards int
+	// Policy selects strict LRU or Bags eviction.
+	Policy EvictionPolicy
+	// EvictionsEnabled allows evicting live items under memory pressure
+	// (memcached -M disables this and errors instead).
+	EvictionsEnabled bool
+	// MaxItemSize bounds key+value+overhead bytes for one item.
+	MaxItemSize int
+	// BaseChunkSize, GrowthFactor, SlabPageSize tune the slab ladder.
+	BaseChunkSize int
+	GrowthFactor  float64
+	SlabPageSize  int
+	// Clock supplies unix seconds; defaults to time.Now().Unix.
+	Clock Clock
+}
+
+// DefaultConfig returns a memcached-like configuration with the given
+// memory limit.
+func DefaultConfig(memoryLimit int64) Config {
+	return Config{
+		MemoryLimit:      memoryLimit,
+		Mode:             ModeStriped,
+		Shards:           8,
+		Policy:           PolicyLRU,
+		EvictionsEnabled: true,
+		MaxItemSize:      DefaultMaxItemSize,
+		BaseChunkSize:    DefaultBaseChunkSize,
+		GrowthFactor:     DefaultGrowthFactor,
+		SlabPageSize:     DefaultSlabPageSize,
+	}
+}
+
+// casCounter issues store-wide unique CAS ids.
+type casCounter struct{ n atomic.Uint64 }
+
+func (c *casCounter) next() uint64 { return c.n.Add(1) }
+
+// Store is the concurrent, memcached-compatible key-value store.
+type Store struct {
+	cfg    Config
+	shards []*lockedShard
+	mask   uint64
+	clock  Clock
+	cas    casCounter
+	start  time.Time
+}
+
+type lockedShard struct {
+	mu sync.Mutex
+	s  *shard
+}
+
+// New validates the configuration and builds the store.
+func New(cfg Config) (*Store, error) {
+	if cfg.MemoryLimit <= 0 {
+		return nil, fmt.Errorf("kvstore: memory limit must be positive, got %d", cfg.MemoryLimit)
+	}
+	if cfg.MaxItemSize <= 0 {
+		cfg.MaxItemSize = DefaultMaxItemSize
+	}
+	if cfg.BaseChunkSize <= 0 {
+		cfg.BaseChunkSize = DefaultBaseChunkSize
+	}
+	if cfg.GrowthFactor <= 1 {
+		cfg.GrowthFactor = DefaultGrowthFactor
+	}
+	if cfg.SlabPageSize <= 0 {
+		cfg.SlabPageSize = DefaultSlabPageSize
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().Unix() }
+	}
+	nShards := 1
+	if cfg.Mode == ModeStriped {
+		nShards = cfg.Shards
+		if nShards <= 0 {
+			nShards = 8
+		}
+		// Round up to a power of two for mask addressing.
+		p := 1
+		for p < nShards {
+			p <<= 1
+		}
+		nShards = p
+	}
+	cfg.Shards = nShards
+	perShard := cfg.MemoryLimit / int64(nShards)
+	if perShard < int64(cfg.SlabPageSize) {
+		return nil, fmt.Errorf("kvstore: memory limit %d too small for %d shards of %dB pages",
+			cfg.MemoryLimit, nShards, cfg.SlabPageSize)
+	}
+	if cfg.MaxItemSize > cfg.SlabPageSize {
+		return nil, fmt.Errorf("kvstore: max item size %d exceeds slab page size %d", cfg.MaxItemSize, cfg.SlabPageSize)
+	}
+
+	st := &Store{cfg: cfg, mask: uint64(nShards - 1), clock: cfg.Clock, start: time.Now()}
+	for i := 0; i < nShards; i++ {
+		alloc, err := newSlabAllocator(cfg.BaseChunkSize, cfg.GrowthFactor, cfg.SlabPageSize, perShard)
+		if err != nil {
+			return nil, err
+		}
+		pol := newPolicy(cfg.Policy, alloc.numClasses())
+		st.shards = append(st.shards, &lockedShard{
+			s: newShard(alloc, pol, &st.cas, cfg.MaxItemSize, cfg.EvictionsEnabled),
+		})
+	}
+	return st, nil
+}
+
+// Config returns the effective configuration (after defaulting).
+func (st *Store) Config() Config { return st.cfg }
+
+func (st *Store) shardFor(key string) *lockedShard {
+	// Use the upper hash bits for shard selection so shard choice stays
+	// independent of the table's bucket choice (which uses low bits).
+	return st.shards[(fnv1a64(key)>>48)&st.mask]
+}
+
+// expiryToAbs converts a memcached exptime to an absolute unix time:
+// 0 = never, <= 30 days = relative seconds, otherwise already absolute.
+func (st *Store) expiryToAbs(exptime int64) int64 {
+	const thirtyDays = 60 * 60 * 24 * 30
+	if exptime == 0 {
+		return 0
+	}
+	if exptime < 0 {
+		return 1 // already expired (memcached treats negatives as "immediately")
+	}
+	if exptime <= thirtyDays {
+		return st.clock() + exptime
+	}
+	return exptime
+}
+
+// Entry is the result of a Get.
+type Entry struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
+}
+
+// Get returns a copy of the stored entry.
+func (st *Store) Get(key string) (Entry, bool) {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	v, flags, cas, ok := sh.s.get(key, now)
+	sh.mu.Unlock()
+	return Entry{Value: v, Flags: flags, CAS: cas}, ok
+}
+
+// GetInto appends the value to dst and returns the extended slice,
+// avoiding a per-hit allocation on the server hot path.
+func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	out, flags, cas, ok := sh.s.getInto(dst, key, now)
+	sh.mu.Unlock()
+	return out, Entry{Flags: flags, CAS: cas}, ok
+}
+
+// Set unconditionally stores the value.
+func (st *Store) Set(key string, value []byte, flags uint32, exptime int64) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	abs := st.expiryToAbs(exptime)
+	sh.mu.Lock()
+	err := sh.s.set(key, value, flags, abs, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// Add stores only if absent.
+func (st *Store) Add(key string, value []byte, flags uint32, exptime int64) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	abs := st.expiryToAbs(exptime)
+	sh.mu.Lock()
+	err := sh.s.add(key, value, flags, abs, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// Replace stores only if present.
+func (st *Store) Replace(key string, value []byte, flags uint32, exptime int64) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	abs := st.expiryToAbs(exptime)
+	sh.mu.Lock()
+	err := sh.s.replace(key, value, flags, abs, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// CAS stores only if the caller's CAS id matches the current one.
+func (st *Store) CAS(key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	abs := st.expiryToAbs(exptime)
+	sh.mu.Lock()
+	err := sh.s.cas(key, value, flags, abs, cas, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// Append concatenates extra after the existing value.
+func (st *Store) Append(key string, extra []byte) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	err := sh.s.appendValue(key, extra, now, false)
+	sh.mu.Unlock()
+	return err
+}
+
+// Prepend concatenates extra before the existing value.
+func (st *Store) Prepend(key string, extra []byte) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	err := sh.s.appendValue(key, extra, now, true)
+	sh.mu.Unlock()
+	return err
+}
+
+// Incr adds delta to a decimal value, returning the new value.
+func (st *Store) Incr(key string, delta uint64) (uint64, error) {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	v, err := sh.s.incrDecr(key, delta, true, now)
+	sh.mu.Unlock()
+	return v, err
+}
+
+// Decr subtracts delta from a decimal value (floored at 0).
+func (st *Store) Decr(key string, delta uint64) (uint64, error) {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	v, err := sh.s.incrDecr(key, delta, false, now)
+	sh.mu.Unlock()
+	return v, err
+}
+
+// Delete removes a key.
+func (st *Store) Delete(key string) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	err := sh.s.delete(key, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// Touch updates a key's expiry.
+func (st *Store) Touch(key string, exptime int64) error {
+	sh := st.shardFor(key)
+	now := st.clock()
+	abs := st.expiryToAbs(exptime)
+	sh.mu.Lock()
+	err := sh.s.touch(key, abs, now)
+	sh.mu.Unlock()
+	return err
+}
+
+// FlushAll invalidates all items stored before now+delay seconds.
+func (st *Store) FlushAll(delay int64) {
+	epoch := st.clock() + delay
+	if delay == 0 {
+		epoch = st.clock() + 1 // everything stored strictly before the next second
+	}
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		sh.s.flushAll(epoch)
+		sh.mu.Unlock()
+	}
+}
+
+// ItemCount reports the number of resident items (some may be expired
+// but not yet reaped, as in memcached).
+func (st *Store) ItemCount() int {
+	total := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		total += sh.s.itemCount()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats aggregates counters across shards.
+func (st *Store) Stats() Stats {
+	var out Stats
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		s := sh.s.stats
+		out.GetHits += s.GetHits
+		out.GetMisses += s.GetMisses
+		out.Sets += s.Sets
+		out.DeleteHits += s.DeleteHits
+		out.DeleteMisses += s.DeleteMiss
+		out.CasHits += s.CasHits
+		out.CasMisses += s.CasMisses
+		out.CasBadval += s.CasBadval
+		out.IncrHits += s.IncrHits
+		out.IncrMisses += s.IncrMisses
+		out.DecrHits += s.DecrHits
+		out.DecrMisses += s.DecrMisses
+		out.TouchHits += s.TouchHits
+		out.TouchMisses += s.TouchMisses
+		out.Evictions += s.Evictions
+		out.Expired += s.Expired
+		out.SlabReassigns += s.SlabReassigns
+		out.TotalItems += s.TotalItems
+		out.BytesUsed += s.BytesUsed
+		out.CurrItems += uint64(sh.s.itemCount())
+		out.SlabBytes += sh.s.alloc.PageBytes()
+		sh.mu.Unlock()
+	}
+	out.Shards = len(st.shards)
+	out.UptimeSeconds = int64(time.Since(st.start).Seconds())
+	return out
+}
+
+// Stats is the aggregated counter snapshot exposed by the stats verb.
+type Stats struct {
+	GetHits, GetMisses       uint64
+	Sets                     uint64
+	DeleteHits, DeleteMisses uint64
+	CasHits, CasMisses       uint64
+	CasBadval                uint64
+	IncrHits, IncrMisses     uint64
+	DecrHits, DecrMisses     uint64
+	TouchHits, TouchMisses   uint64
+	Evictions, Expired       uint64
+	SlabReassigns            uint64
+	TotalItems, CurrItems    uint64
+	BytesUsed                int64
+	SlabBytes                int64
+	Shards                   int
+	UptimeSeconds            int64
+}
+
+// SlabClassStats describes one slab size class, aggregated across
+// shards (the "stats slabs" view).
+type SlabClassStats struct {
+	ClassID    int
+	ChunkSize  int
+	Pages      int
+	UsedChunks int
+	FreeChunks int
+}
+
+// SlabStats reports per-class slab usage across all shards.
+func (st *Store) SlabStats() []SlabClassStats {
+	var out []SlabClassStats
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		a := sh.s.alloc
+		if out == nil {
+			out = make([]SlabClassStats, a.numClasses())
+			for i := range out {
+				out[i] = SlabClassStats{ClassID: i + 1, ChunkSize: a.chunkSize(i)}
+			}
+		}
+		for i := range a.classes {
+			out[i].Pages += len(a.classes[i].pages)
+			out[i].UsedChunks += a.classes[i].allocated
+			out[i].FreeChunks += len(a.classes[i].free)
+		}
+		sh.mu.Unlock()
+	}
+	// Drop classes with no pages anywhere to keep the report readable.
+	kept := out[:0]
+	for _, c := range out {
+		if c.Pages > 0 {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// HitRate returns get_hits / (get_hits+get_misses), or 0 when idle.
+func (s Stats) HitRate() float64 {
+	total := s.GetHits + s.GetMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.GetHits) / float64(total)
+}

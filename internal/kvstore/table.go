@@ -1,0 +1,172 @@
+package kvstore
+
+// hashTable is a chained hash table with memcached-style incremental
+// rehashing: when the load factor crosses the threshold the table
+// doubles, and buckets migrate a few at a time on subsequent operations
+// instead of in one stop-the-world pass.
+type hashTable struct {
+	buckets []*item
+	old     []*item // non-nil while a rehash is in progress
+	migrate int     // next old bucket index to migrate
+	count   int
+}
+
+const (
+	initialBuckets    = 16
+	loadFactorNum     = 3 // grow when count > buckets * 3/2
+	loadFactorDen     = 2
+	migrationPerOp    = 2 // old buckets moved per mutating operation
+	minShrinkBuckets  = initialBuckets
+	shrinkFactorWhenQ = 8 // shrink when count < buckets/8 (not while rehashing)
+)
+
+func newHashTable() *hashTable {
+	return &hashTable{buckets: make([]*item, initialBuckets)}
+}
+
+// fnv1a64 is the FNV-1a hash used to place keys.
+func fnv1a64(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+func (t *hashTable) bucketFor(tbl []*item, key string) int {
+	return int(fnv1a64(key) & uint64(len(tbl)-1))
+}
+
+// lookup finds the item for key, following an in-progress rehash.
+func (t *hashTable) lookup(key string) *item {
+	if t.old != nil {
+		i := t.bucketFor(t.old, key)
+		if i >= t.migrate { // bucket not yet migrated
+			for it := t.old[i]; it != nil; it = it.hnext {
+				if it.key == key {
+					return it
+				}
+			}
+			return nil
+		}
+	}
+	i := t.bucketFor(t.buckets, key)
+	for it := t.buckets[i]; it != nil; it = it.hnext {
+		if it.key == key {
+			return it
+		}
+	}
+	return nil
+}
+
+// insert adds an item that is known not to be present.
+func (t *hashTable) insert(it *item) {
+	t.stepMigration()
+	tbl := t.buckets
+	if t.old != nil {
+		if i := t.bucketFor(t.old, it.key); i >= t.migrate {
+			tbl = t.old
+			it.hnext = tbl[i]
+			tbl[i] = it
+			t.count++
+			return
+		}
+	}
+	i := t.bucketFor(tbl, it.key)
+	it.hnext = tbl[i]
+	tbl[i] = it
+	t.count++
+	t.maybeGrow()
+}
+
+// remove unlinks the item for key and returns it, or nil.
+func (t *hashTable) remove(key string) *item {
+	t.stepMigration()
+	if t.old != nil {
+		if i := t.bucketFor(t.old, key); i >= t.migrate {
+			if it := removeFromChain(&t.old[i], key); it != nil {
+				t.count--
+				return it
+			}
+			return nil
+		}
+	}
+	i := t.bucketFor(t.buckets, key)
+	if it := removeFromChain(&t.buckets[i], key); it != nil {
+		t.count--
+		return it
+	}
+	return nil
+}
+
+func removeFromChain(head **item, key string) *item {
+	for p := head; *p != nil; p = &(*p).hnext {
+		if (*p).key == key {
+			it := *p
+			*p = it.hnext
+			it.hnext = nil
+			return it
+		}
+	}
+	return nil
+}
+
+// maybeGrow starts an incremental rehash when the load factor is high.
+func (t *hashTable) maybeGrow() {
+	if t.old != nil {
+		return // one rehash at a time
+	}
+	if t.count*loadFactorDen <= len(t.buckets)*loadFactorNum {
+		return
+	}
+	t.old = t.buckets
+	t.buckets = make([]*item, len(t.old)*2)
+	t.migrate = 0
+}
+
+// stepMigration moves a few buckets from the old table into the new one.
+func (t *hashTable) stepMigration() {
+	if t.old == nil {
+		return
+	}
+	for n := 0; n < migrationPerOp && t.migrate < len(t.old); n++ {
+		for it := t.old[t.migrate]; it != nil; {
+			next := it.hnext
+			i := t.bucketFor(t.buckets, it.key)
+			it.hnext = t.buckets[i]
+			t.buckets[i] = it
+			it = next
+		}
+		t.old[t.migrate] = nil
+		t.migrate++
+	}
+	if t.migrate >= len(t.old) {
+		t.old = nil
+		t.migrate = 0
+	}
+}
+
+// finishMigration completes any in-progress rehash (used by iteration).
+func (t *hashTable) finishMigration() {
+	for t.old != nil {
+		t.stepMigration()
+	}
+}
+
+// forEach visits every item. Mutation during iteration is not allowed.
+func (t *hashTable) forEach(fn func(*item)) {
+	t.finishMigration()
+	for _, head := range t.buckets {
+		for it := head; it != nil; it = it.hnext {
+			fn(it)
+		}
+	}
+}
+
+// len reports the number of stored items.
+func (t *hashTable) len() int { return t.count }

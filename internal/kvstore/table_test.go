@@ -1,0 +1,163 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mkItem(key string) *item { return &item{key: key} }
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl := newHashTable()
+	tbl.insert(mkItem("a"))
+	tbl.insert(mkItem("b"))
+	if tbl.lookup("a") == nil || tbl.lookup("b") == nil {
+		t.Fatal("inserted keys must be found")
+	}
+	if tbl.lookup("c") != nil {
+		t.Fatal("absent key found")
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("len = %d", tbl.len())
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tbl := newHashTable()
+	tbl.insert(mkItem("x"))
+	if tbl.remove("x") == nil {
+		t.Fatal("remove of present key failed")
+	}
+	if tbl.remove("x") != nil {
+		t.Fatal("second remove should return nil")
+	}
+	if tbl.lookup("x") != nil {
+		t.Fatal("removed key still visible")
+	}
+	if tbl.len() != 0 {
+		t.Fatalf("len = %d", tbl.len())
+	}
+}
+
+func TestTableGrowsAndStaysConsistent(t *testing.T) {
+	tbl := newHashTable()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tbl.insert(mkItem(fmt.Sprintf("key-%d", i)))
+	}
+	if len(tbl.buckets) <= initialBuckets {
+		t.Fatalf("table never grew: %d buckets", len(tbl.buckets))
+	}
+	for i := 0; i < n; i++ {
+		if tbl.lookup(fmt.Sprintf("key-%d", i)) == nil {
+			t.Fatalf("key-%d lost after growth", i)
+		}
+	}
+	if tbl.len() != n {
+		t.Fatalf("len = %d, want %d", tbl.len(), n)
+	}
+}
+
+func TestTableLookupDuringMigration(t *testing.T) {
+	tbl := newHashTable()
+	// Insert enough to trigger at least one rehash, then probe while the
+	// migration is mid-flight.
+	for i := 0; i < 100; i++ {
+		tbl.insert(mkItem(fmt.Sprintf("k%d", i)))
+		for j := 0; j <= i; j++ {
+			if tbl.lookup(fmt.Sprintf("k%d", j)) == nil {
+				t.Fatalf("k%d invisible at step %d (old=%v migrate=%d)", j, i, tbl.old != nil, tbl.migrate)
+			}
+		}
+	}
+}
+
+func TestTableRemoveDuringMigration(t *testing.T) {
+	tbl := newHashTable()
+	const n = 200
+	for i := 0; i < n; i++ {
+		tbl.insert(mkItem(fmt.Sprintf("k%d", i)))
+	}
+	// Remove them all, interleaving lookups.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if tbl.remove(key) == nil {
+			t.Fatalf("remove(%s) failed", key)
+		}
+		if tbl.lookup(key) != nil {
+			t.Fatalf("%s visible after removal", key)
+		}
+	}
+	if tbl.len() != 0 {
+		t.Fatalf("len = %d after removing all", tbl.len())
+	}
+}
+
+func TestTableForEachVisitsAll(t *testing.T) {
+	tbl := newHashTable()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tbl.insert(mkItem(fmt.Sprintf("k%d", i)))
+	}
+	seen := make(map[string]bool)
+	tbl.forEach(func(it *item) { seen[it.key] = true })
+	if len(seen) != n {
+		t.Fatalf("forEach visited %d items, want %d", len(seen), n)
+	}
+}
+
+func TestFNVKnownVectors(t *testing.T) {
+	// Standard FNV-1a 64 test vectors.
+	cases := map[string]uint64{
+		"":    14695981039346656037,
+		"a":   0xaf63dc4c8601ec8c,
+		"foo": 0xdcb27518fed9d577,
+	}
+	for in, want := range cases {
+		if got := fnv1a64(in); got != want {
+			t.Errorf("fnv1a64(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestTableModelEquivalenceProperty(t *testing.T) {
+	// Drive the table and a map with the same random operation sequence;
+	// they must agree at every step.
+	type op struct {
+		Insert bool
+		Key    uint8
+	}
+	f := func(ops []op) bool {
+		tbl := newHashTable()
+		model := make(map[string]bool)
+		for _, o := range ops {
+			key := fmt.Sprintf("key-%d", o.Key)
+			if o.Insert {
+				if !model[key] {
+					tbl.insert(mkItem(key))
+					model[key] = true
+				}
+			} else {
+				got := tbl.remove(key) != nil
+				want := model[key]
+				if got != want {
+					return false
+				}
+				delete(model, key)
+			}
+			if tbl.len() != len(model) {
+				return false
+			}
+		}
+		for key := range model {
+			if tbl.lookup(key) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

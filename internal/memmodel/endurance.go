@@ -1,0 +1,100 @@
+package memmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Flash endurance. p-BiCS-era MLC NAND sustains a few thousand
+// program/erase cycles per cell. Iridium's economics only work for
+// low-write-rate tiers (McDipper-style photo serving); this model makes
+// that constraint quantitative, and the FTL's wear-out mechanics below
+// let the failure-injection tests exercise end-of-life behaviour.
+
+// DefaultFlashEnduranceCycles is the per-block P/E budget.
+const DefaultFlashEnduranceCycles = 3000
+
+// ErrWornOut is returned once the device has retired too many blocks to
+// hold its logical capacity.
+var ErrWornOut = errors.New("memmodel: flash device worn out")
+
+// EnduranceModel estimates device lifetime under a write workload.
+type EnduranceModel struct {
+	// CapacityBytes and PageBytes describe the device.
+	CapacityBytes int64
+	PageBytes     int64
+	// Cycles is the per-cell P/E endurance.
+	Cycles float64
+	// ProgramsPerPut is the page programs a single PUT causes (value +
+	// FTL metadata), before GC.
+	ProgramsPerPut float64
+	// WriteAmp is the FTL's garbage-collection write amplification.
+	WriteAmp float64
+}
+
+// IridiumEndurance returns the endurance model for one Iridium stack
+// with the calibrated PUT cost and a measured-FTL write amplification.
+func IridiumEndurance(writeAmp float64) EnduranceModel {
+	if writeAmp < 1 {
+		writeAmp = 1
+	}
+	return EnduranceModel{
+		CapacityBytes:  FlashCapacityBytes,
+		PageBytes:      FlashPageBytes,
+		Cycles:         DefaultFlashEnduranceCycles,
+		ProgramsPerPut: 5, // matches stackmodel.DefaultCosts
+		WriteAmp:       writeAmp,
+	}
+}
+
+// TotalPagePrograms is the device's lifetime page-program budget.
+func (m EnduranceModel) TotalPagePrograms() float64 {
+	pages := float64(m.CapacityBytes) / float64(m.PageBytes)
+	return pages * m.Cycles
+}
+
+// LifetimeSeconds returns how long the device lasts at a sustained PUT
+// rate (PUTs per second).
+func (m EnduranceModel) LifetimeSeconds(putsPerSec float64) float64 {
+	if putsPerSec <= 0 {
+		return 0
+	}
+	programsPerSec := putsPerSec * m.ProgramsPerPut * m.WriteAmp
+	return m.TotalPagePrograms() / programsPerSec
+}
+
+// MaxPutRateForLifetime inverts LifetimeSeconds: the sustainable PUT
+// rate for a target lifetime.
+func (m EnduranceModel) MaxPutRateForLifetime(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return m.TotalPagePrograms() / (m.ProgramsPerPut * m.WriteAmp * seconds)
+}
+
+// --- FTL wear-out mechanics ---------------------------------------------
+
+// SetEnduranceLimit enables block retirement: a block whose erase count
+// reaches maxErases is taken out of service after its next GC. When the
+// remaining blocks cannot cover the logical space plus one spare, writes
+// fail with ErrWornOut.
+func (f *FTL) SetEnduranceLimit(maxErases int) error {
+	if maxErases < 1 {
+		return fmt.Errorf("memmodel: endurance limit %d must be positive", maxErases)
+	}
+	f.maxErases = maxErases
+	return nil
+}
+
+// RetiredBlocks reports how many blocks have been retired for wear.
+func (f *FTL) RetiredBlocks() int { return f.retired }
+
+// WornOut reports whether the device can no longer serve writes.
+func (f *FTL) WornOut() bool {
+	if f.maxErases == 0 {
+		return false
+	}
+	usable := f.numBlocks - f.retired
+	needed := (len(f.l2p)+f.pagesPerBlock-1)/f.pagesPerBlock + 1
+	return usable < needed
+}

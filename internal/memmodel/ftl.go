@@ -1,0 +1,344 @@
+package memmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FTL is a functional page-mapped flash translation layer with greedy
+// garbage collection and wear levelling, of the kind an Iridium flash
+// controller would run (§3.3's programmable flash controller with "a
+// sophisticated wear-leveling algorithm"). It tracks logical→physical
+// page mappings, block erase counts, and measured write amplification;
+// the stack timing model uses the measured amplification to cost PUTs.
+type FTL struct {
+	pagesPerBlock int
+	numBlocks     int
+
+	// l2p maps logical page -> physical page index, -1 if unmapped.
+	l2p []int32
+	// p2l maps physical page -> logical page, -1 if free/invalid.
+	p2l []int32
+
+	blocks []ftlBlock
+	// open is the block currently receiving writes, -1 if none.
+	open     int
+	openNext int // next page offset within the open block
+
+	freeBlocks int
+
+	// gcReserve is the number of blocks kept free; GC triggers when the
+	// free count would fall below it.
+	gcReserve int
+
+	// Endurance (0 = unlimited; see SetEnduranceLimit).
+	maxErases int
+	retired   int
+
+	// Stats.
+	hostWrites  uint64
+	flashWrites uint64
+	erases      uint64
+	gcRuns      uint64
+}
+
+type ftlBlock struct {
+	erases  int
+	valid   int  // valid pages in the block
+	written int  // pages written since last erase
+	free    bool // fully erased and not open
+	retired bool // worn out, permanently out of service
+}
+
+// staticWearPeriod controls how often GC runs a wear-levelling pass
+// (victim = lowest-erase sealed block) instead of a greedy pass.
+const staticWearPeriod = 16
+
+var (
+	// ErrFull is returned when a write cannot find space even after GC.
+	ErrFull = errors.New("memmodel: flash device full")
+	// ErrBadPage is returned for out-of-range logical pages.
+	ErrBadPage = errors.New("memmodel: logical page out of range")
+)
+
+// NewFTL builds an FTL over numBlocks blocks of pagesPerBlock pages.
+// Logical capacity is the physical capacity minus the GC reserve
+// (over-provisioning), as in real SSDs.
+func NewFTL(numBlocks, pagesPerBlock, gcReserve int) (*FTL, error) {
+	if numBlocks < 4 || pagesPerBlock < 1 {
+		return nil, fmt.Errorf("memmodel: FTL needs >=4 blocks and >=1 page/block, got %d/%d", numBlocks, pagesPerBlock)
+	}
+	if gcReserve < 1 || gcReserve >= numBlocks {
+		return nil, fmt.Errorf("memmodel: gcReserve %d out of range [1,%d)", gcReserve, numBlocks)
+	}
+	total := numBlocks * pagesPerBlock
+	f := &FTL{
+		pagesPerBlock: pagesPerBlock,
+		numBlocks:     numBlocks,
+		l2p:           make([]int32, (numBlocks-gcReserve)*pagesPerBlock),
+		p2l:           make([]int32, total),
+		blocks:        make([]ftlBlock, numBlocks),
+		open:          -1,
+		freeBlocks:    numBlocks,
+		gcReserve:     gcReserve,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	for i := range f.blocks {
+		f.blocks[i].free = true
+	}
+	return f, nil
+}
+
+// LogicalPages reports the host-visible capacity in pages.
+func (f *FTL) LogicalPages() int { return len(f.l2p) }
+
+// Write maps a logical page write onto flash, running GC as needed.
+// It returns the number of physical page programs performed (1 for the
+// host write plus any GC relocations) and the number of block erases.
+func (f *FTL) Write(logical int) (programs, erases int, err error) {
+	if logical < 0 || logical >= len(f.l2p) {
+		return 0, 0, ErrBadPage
+	}
+	if f.WornOut() {
+		return 0, 0, ErrWornOut
+	}
+	f.hostWrites++
+	// Invalidate the previous mapping.
+	if old := f.l2p[logical]; old >= 0 {
+		f.p2l[old] = -1
+		f.blocks[int(old)/f.pagesPerBlock].valid--
+	}
+	progBefore, eraseBefore := f.flashWrites, f.erases
+	phys, err := f.allocPage()
+	if err != nil {
+		return int(f.flashWrites - progBefore), int(f.erases - eraseBefore), err
+	}
+	f.program(phys, int32(logical))
+	f.l2p[logical] = int32(phys)
+	return int(f.flashWrites - progBefore), int(f.erases - eraseBefore), nil
+}
+
+// Read resolves a logical page; it returns whether the page has ever
+// been written.
+func (f *FTL) Read(logical int) (mapped bool, err error) {
+	if logical < 0 || logical >= len(f.l2p) {
+		return false, ErrBadPage
+	}
+	return f.l2p[logical] >= 0, nil
+}
+
+// Trim unmaps a logical page (delete support).
+func (f *FTL) Trim(logical int) error {
+	if logical < 0 || logical >= len(f.l2p) {
+		return ErrBadPage
+	}
+	if old := f.l2p[logical]; old >= 0 {
+		f.p2l[old] = -1
+		f.blocks[int(old)/f.pagesPerBlock].valid--
+		f.l2p[logical] = -1
+	}
+	return nil
+}
+
+// program writes the logical tag into a physical page.
+func (f *FTL) program(phys int, logical int32) {
+	b := &f.blocks[phys/f.pagesPerBlock]
+	f.p2l[phys] = logical
+	b.valid++
+	b.written++
+	f.flashWrites++
+}
+
+// allocPage returns the next free physical page, opening blocks and
+// garbage-collecting as necessary. The open block is only replaced once
+// fully written — abandoning a partial block would strand its free pages
+// (sealed-only GC would never reclaim them). Host writes may dip into
+// the GC reserve down to a one-block hard floor kept for GC
+// destinations; GC only runs when it can actually reclaim space.
+func (f *FTL) allocPage() (int, error) {
+	// Bounded by construction: each loop iteration either returns, frees
+	// a block via collect, or opens a free block.
+	for attempt := 0; attempt < 2*f.numBlocks+4; attempt++ {
+		if f.open >= 0 && f.openNext < f.pagesPerBlock {
+			p := f.open*f.pagesPerBlock + f.openNext
+			f.openNext++
+			return p, nil
+		}
+		if f.freeBlocks <= f.gcReserve && f.gcProfitable() {
+			if err := f.collect(); err != nil {
+				return 0, err
+			}
+			continue // collect may have left space in the open block
+		}
+		if f.freeBlocks > 1 {
+			f.openFreshBlock()
+			continue
+		}
+		if f.gcProfitable() {
+			if err := f.collect(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		return 0, ErrFull
+	}
+	return 0, ErrFull
+}
+
+// gcProfitable reports whether a greedy GC pass can reclaim space: some
+// sealed block holds at least one invalid page.
+func (f *FTL) gcProfitable() bool {
+	for i := range f.blocks {
+		if f.blocks[i].free || f.blocks[i].retired || i == f.open {
+			continue
+		}
+		if f.blocks[i].written == f.pagesPerBlock && f.blocks[i].valid < f.pagesPerBlock {
+			return true
+		}
+	}
+	return false
+}
+
+// openFreshBlock picks the free block with the lowest erase count
+// (wear levelling) and makes it the write target.
+func (f *FTL) openFreshBlock() {
+	best := -1
+	for i := range f.blocks {
+		if !f.blocks[i].free || f.blocks[i].retired {
+			continue
+		}
+		if best < 0 || f.blocks[i].erases < f.blocks[best].erases {
+			best = i
+		}
+	}
+	f.open = best
+	f.openNext = 0
+	if best >= 0 {
+		f.blocks[best].free = false
+		f.freeBlocks--
+	}
+}
+
+// collect performs one greedy GC pass: pick the sealed block with the
+// fewest valid pages, relocate its live pages, and erase it. Every
+// staticWearPeriod-th pass it instead picks the sealed block with the
+// lowest erase count, migrating cold data so wear spreads evenly.
+func (f *FTL) collect() error {
+	f.gcRuns++
+	wearPass := f.gcRuns%staticWearPeriod == 0
+	victim := -1
+	for i := range f.blocks {
+		if f.blocks[i].free || f.blocks[i].retired || i == f.open {
+			continue
+		}
+		if f.blocks[i].written < f.pagesPerBlock {
+			continue // still has unwritten pages; not a GC candidate
+		}
+		if !wearPass && f.blocks[i].valid == f.pagesPerBlock {
+			continue // greedy passes skip fully-valid blocks: no gain
+		}
+		if victim < 0 {
+			victim = i
+			continue
+		}
+		if wearPass {
+			if f.blocks[i].erases < f.blocks[victim].erases {
+				victim = i
+			}
+		} else if f.blocks[i].valid < f.blocks[victim].valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return ErrFull
+	}
+	if wearPass && f.blocks[victim].valid == f.pagesPerBlock && f.freeBlocks < 2 {
+		// A cold fully-valid migration needs a destination block; skip
+		// wear levelling when the pool is at the floor.
+		return nil
+	}
+	// Relocate valid pages into the open block (opening new ones if
+	// needed — the reserve guarantees room).
+	base := victim * f.pagesPerBlock
+	for off := 0; off < f.pagesPerBlock; off++ {
+		phys := base + off
+		logical := f.p2l[phys]
+		if logical < 0 {
+			continue
+		}
+		dst, err := f.relocTarget(victim)
+		if err != nil {
+			return err
+		}
+		f.p2l[phys] = -1
+		f.blocks[victim].valid--
+		f.program(dst, logical)
+		f.l2p[logical] = int32(dst)
+	}
+	// Erase the victim, retiring it if it has reached its P/E budget.
+	b := &f.blocks[victim]
+	b.erases++
+	b.valid = 0
+	b.written = 0
+	f.erases++
+	if f.maxErases > 0 && b.erases >= f.maxErases {
+		b.retired = true
+		f.retired++
+		return nil
+	}
+	b.free = true
+	f.freeBlocks++
+	return nil
+}
+
+// relocTarget finds a destination page for GC relocation, never choosing
+// the victim block.
+func (f *FTL) relocTarget(victim int) (int, error) {
+	if f.open >= 0 && f.open != victim && f.openNext < f.pagesPerBlock {
+		p := f.open*f.pagesPerBlock + f.openNext
+		f.openNext++
+		return p, nil
+	}
+	f.openFreshBlock()
+	if f.open < 0 || f.open == victim {
+		return 0, ErrFull
+	}
+	p := f.open*f.pagesPerBlock + f.openNext
+	f.openNext++
+	return p, nil
+}
+
+// WriteAmplification reports flash page programs per host page write.
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 1
+	}
+	return float64(f.flashWrites) / float64(f.hostWrites)
+}
+
+// Erases reports total block erases.
+func (f *FTL) Erases() uint64 { return f.erases }
+
+// GCRuns reports how many GC passes have executed.
+func (f *FTL) GCRuns() uint64 { return f.gcRuns }
+
+// WearSpread returns (minErase, maxErase) across blocks; wear levelling
+// keeps the spread small.
+func (f *FTL) WearSpread() (min, max int) {
+	min, max = int(^uint(0)>>1), 0
+	for i := range f.blocks {
+		e := f.blocks[i].erases
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,266 @@
+// Package metrics provides the measurement primitives used by the kv3d
+// models and harness: log-bucketed latency histograms with percentile
+// queries, simple counters, and running statistics. Everything is plain
+// single-threaded value code; concurrency (if any) is owned by callers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-linear histogram of int64 samples (typically
+// latencies in picoseconds). Values are bucketed with ~4.5% relative
+// error: 16 linear sub-buckets per power of two. That is accurate enough
+// for the paper's percentile claims ("a majority of requests within the
+// sub-millisecond range") while staying allocation-free on record.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const subBuckets = 16
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64, max: math.MinInt64}
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v) // exact for tiny values
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	// Position within the power-of-two range, in sub-bucket units.
+	frac := (v - (1 << exp)) >> (exp - 4) // exp >= 4 here
+	return exp*subBuckets + int(frac)
+}
+
+// bucketLow returns the lowest value that maps into bucket i; used to
+// report percentile values.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i / subBuckets
+	if exp >= 63 {
+		// Positive int64 values max out at exponent 62, so these
+		// buckets are unreachable; saturate for callers probing i+1.
+		return math.MaxInt64
+	}
+	frac := int64(i % subBuckets)
+	return (int64(1) << exp) + frac<<(exp-4)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns an approximation (bucket lower bound) of the p-th
+// percentile, p in [0, 100].
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// FractionBelow returns the fraction of samples strictly below v
+// (bucket-granular, rounding pessimistically into the containing bucket).
+func (h *Histogram) FractionBelow(v int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	idx := bucketIndex(v)
+	var below uint64
+	for i := 0; i < idx; i++ {
+		below += h.counts[i]
+	}
+	return float64(below) / float64(h.total)
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// String summarizes the histogram for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Summary holds the standard set of statistics reported by experiments.
+type Summary struct {
+	Count uint64
+	Mean  float64
+	P50   int64
+	P95   int64
+	P99   int64
+	Max   int64
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// Welford keeps running mean/variance without storing samples; used for
+// sanity checks on workload generators.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ExactPercentile computes a percentile from a raw sample slice (used in
+// tests to validate the histogram approximation). p in [0,100].
+func ExactPercentile(samples []int64, p float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}

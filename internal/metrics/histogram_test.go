@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 5} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 16 are stored exactly.
+	h := NewHistogram()
+	for i := int64(0); i < 16; i++ {
+		h.Record(i)
+	}
+	for p, want := range map[float64]int64{50: 7, 100: 15} {
+		if got := h.Percentile(p); got != want {
+			t.Errorf("p%v = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative samples should clamp to 0, min = %d", h.Min())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Relative error of any percentile must stay within one sub-bucket
+	// (1/16 = 6.25%).
+	h := NewHistogram()
+	var raw []int64
+	for i := 0; i < 10000; i++ {
+		v := int64(i*i + 1)
+		h.Record(v)
+		raw = append(raw, v)
+	}
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		got := float64(h.Percentile(p))
+		want := float64(ExactPercentile(raw, p))
+		if math.Abs(got-want)/want > 0.07 {
+			t.Errorf("p%v = %v, exact %v (err %.2f%%)", p, got, want, 100*math.Abs(got-want)/want)
+		}
+	}
+}
+
+func TestBucketMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketLowConsistentProperty(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v for all v >= 0.
+	f := func(a uint64) bool {
+		v := int64(a >> 1) // keep positive
+		i := bucketIndex(v)
+		return bucketLow(i) <= v && (i == len(new(Histogram).counts)-1 || bucketLow(i+1) > v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := NewHistogram()
+	// 900 samples at ~100us (in ps), 100 at ~10ms.
+	for i := 0; i < 900; i++ {
+		h.Record(100_000_000)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10_000_000_000)
+	}
+	if got := h.FractionBelow(1_000_000_000); math.Abs(got-0.9) > 0.001 {
+		t.Fatalf("FractionBelow(1ms) = %v, want 0.9", got)
+	}
+	if got := h.FractionBelow(0); got != 0 {
+		t.Fatalf("FractionBelow(0) = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-100.5) > 1e-9 {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := NewHistogram()
+	a.Record(5)
+	a.Merge(NewHistogram())
+	if a.Count() != 1 || a.Min() != 5 {
+		t.Fatal("merging an empty histogram must not disturb stats")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 {
+		t.Fatalf("summary count = %d", s.Count)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("summary percentiles not ordered: %+v", s)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	if h.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Record(2000)
+	if got := h.Percentile(0); got != 1000 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := h.Percentile(100); got != 2000 {
+		t.Fatalf("p100 = %d", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Fatalf("stddev = %v", w.StdDev())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty Welford should report zero variance")
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []int64{5, 1, 3, 2, 4}
+	if got := ExactPercentile(s, 50); got != 3 {
+		t.Fatalf("exact p50 = %d", got)
+	}
+	if got := ExactPercentile(s, 0); got != 1 {
+		t.Fatalf("exact p0 = %d", got)
+	}
+	if got := ExactPercentile(s, 100); got != 5 {
+		t.Fatalf("exact p100 = %d", got)
+	}
+	if got := ExactPercentile(nil, 50); got != 0 {
+		t.Fatalf("exact on empty = %d", got)
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("ExactPercentile mutated its input")
+	}
+}

@@ -1,0 +1,134 @@
+// Package phys holds the physical-design models of a 1.5U Mercury or
+// Iridium server: the Table 1 component power figures composed into
+// per-stack and per-server power (§5.4), and the board/package area
+// model (§5.5). Three constraints cap the number of stacks: the power
+// budget, the motherboard area, and the 96 back-panel Ethernet ports.
+package phys
+
+import (
+	"math"
+
+	"kv3d/internal/cpu"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/netmodel"
+)
+
+// Power-budget constants (§5.4.1).
+const (
+	// SupplyW is the HP 750W common-slot supply.
+	SupplyW = 750.0
+	// OtherComponentsW is reserved for disk, motherboard, fans.
+	OtherComponentsW = 160.0
+	// DeliveryEfficiency is the conservative margin for conversion and
+	// delivery losses.
+	DeliveryEfficiency = 0.8
+)
+
+// StackBudgetW is the power available to stacks: (750-160) x 0.8 = 472W.
+func StackBudgetW() float64 {
+	return (SupplyW - OtherComponentsW) * DeliveryEfficiency
+}
+
+// StackPowerW composes one stack's power draw: cores, NIC MAC, its share
+// of the PHY, and the memory at the given sustained bandwidth.
+func StackPowerW(core cpu.Core, coresPerStack int, mem memmodel.Device, bwBytesPerSec float64) float64 {
+	cores := float64(coresPerStack) * core.PowerW
+	nic := netmodel.MACPowerW + netmodel.PHYPowerW
+	memory := mem.BackgroundW() + mem.ActiveWPerGBps()*(bwBytesPerSec/1e9)
+	return cores + nic + memory
+}
+
+// ServerPowerW lifts total stack power to wall power: delivery losses
+// plus the fixed server overhead.
+func ServerPowerW(stackPowerW float64, stacks int) float64 {
+	return OtherComponentsW + stackPowerW*float64(stacks)/DeliveryEfficiency
+}
+
+// MaxStacksByPower returns how many stacks of the given draw fit in the
+// stack budget.
+func MaxStacksByPower(stackPowerW float64) int {
+	if stackPowerW <= 0 {
+		return 0
+	}
+	return int(math.Floor(StackBudgetW() / stackPowerW))
+}
+
+// Area constants (§5.5).
+const (
+	// StackPackageMM2 is the 21mm x 21mm 400-pin BGA.
+	StackPackageMM2 = 441.0
+	// PHYShareMM2 is half of a dual-PHY 441mm^2 chip.
+	PHYShareMM2 = netmodel.PHYChipMM2 / netmodel.PHYsPerChip
+	// BoardCM2 is the 13in x 13in motherboard.
+	BoardCM2 = 1089.0
+	// BoardUsableFraction of the board carries stacks and PHYs.
+	BoardUsableFraction = 0.77
+	// MaxNICPorts caps stacks at the 96 back-panel ports.
+	MaxNICPorts = netmodel.MaxServerNICs
+)
+
+// StackAreaCM2 is the board area per stack including its PHY share
+// (441 + 220.5 mm^2 = 6.615 cm^2).
+func StackAreaCM2() float64 {
+	return (StackPackageMM2 + PHYShareMM2) / 100.0
+}
+
+// MaxStacksByArea returns how many stacks fit on the usable board area.
+func MaxStacksByArea() int {
+	return int(math.Floor(BoardCM2 * BoardUsableFraction / StackAreaCM2()))
+}
+
+// ServerAreaCM2 is the board area consumed by the given stack count.
+func ServerAreaCM2(stacks int) float64 {
+	return float64(stacks) * StackAreaCM2()
+}
+
+// Constraint names the binding limit on stack count.
+type Constraint string
+
+const (
+	// LimitPower means the 472W stack budget binds.
+	LimitPower Constraint = "power"
+	// LimitPorts means the 96 Ethernet ports bind.
+	LimitPorts Constraint = "ports"
+	// LimitArea means board area binds.
+	LimitArea Constraint = "area"
+)
+
+// MaxStacks applies all three constraints and reports which one binds.
+func MaxStacks(stackPowerW float64) (int, Constraint) {
+	byPower := MaxStacksByPower(stackPowerW)
+	byArea := MaxStacksByArea()
+	n, limit := byPower, LimitPower
+	if byArea < n {
+		n, limit = byArea, LimitArea
+	}
+	if MaxNICPorts < n {
+		n, limit = MaxNICPorts, LimitPorts
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n, limit
+}
+
+// Table1Row is one row of the paper's component power/area table.
+type Table1Row struct {
+	Component string
+	PowerW    float64
+	PowerUnit string
+	AreaMM2   float64
+}
+
+// Table1 returns the paper's Table 1 rows.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Component: "A7@1GHz", PowerW: 0.100, PowerUnit: "W", AreaMM2: 0.58},
+		{Component: "A15@1GHz", PowerW: 0.600, PowerUnit: "W", AreaMM2: 2.82},
+		{Component: "A15@1.5GHz", PowerW: 1.000, PowerUnit: "W", AreaMM2: 2.82},
+		{Component: "3D DRAM (4GB)", PowerW: 0.210, PowerUnit: "W per GB/s", AreaMM2: 279.00},
+		{Component: "3D NAND Flash (19.8GB)", PowerW: 0.006, PowerUnit: "W per GB/s", AreaMM2: 279.00},
+		{Component: "3D Stack NIC (MAC)", PowerW: 0.120, PowerUnit: "W", AreaMM2: 0.43},
+		{Component: "Physical NIC (PHY)", PowerW: 0.300, PowerUnit: "W", AreaMM2: 220.00},
+	}
+}

@@ -1,0 +1,118 @@
+package phys
+
+import (
+	"math"
+	"testing"
+
+	"kv3d/internal/cpu"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/sim"
+)
+
+func TestStackBudget(t *testing.T) {
+	if got := StackBudgetW(); math.Abs(got-472) > 1e-9 {
+		t.Fatalf("stack budget = %v, paper computes 472W", got)
+	}
+}
+
+func TestStackPowerComposition(t *testing.T) {
+	dram := memmodel.MustDRAM3D(10 * sim.Nanosecond)
+	// 8 A7 cores + MAC + PHY + DRAM background, no bandwidth.
+	got := StackPowerW(cpu.CortexA7(), 8, dram, 0)
+	want := 8*0.1 + 0.12 + 0.30 + memmodel.DRAMBackgroundW
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stack power = %v, want %v", got, want)
+	}
+	// Bandwidth power: +210mW per GB/s.
+	withBW := StackPowerW(cpu.CortexA7(), 8, dram, 2e9)
+	if math.Abs(withBW-got-0.42) > 1e-9 {
+		t.Fatalf("2GB/s should add 0.42W, added %v", withBW-got)
+	}
+}
+
+func TestFlashPowerFarBelowDRAM(t *testing.T) {
+	dram := memmodel.MustDRAM3D(10 * sim.Nanosecond)
+	flash := memmodel.MustFlash3D(10*sim.Microsecond, 200*sim.Microsecond)
+	bw := 1e9
+	d := StackPowerW(cpu.CortexA7(), 1, dram, bw)
+	f := StackPowerW(cpu.CortexA7(), 1, flash, bw)
+	if f >= d {
+		t.Fatalf("flash stack (%vW) should draw less than DRAM stack (%vW)", f, d)
+	}
+}
+
+func TestServerPower(t *testing.T) {
+	// 96 stacks of 1W: 160 + 96/0.8 = 280W.
+	if got := ServerPowerW(1.0, 96); math.Abs(got-280) > 1e-9 {
+		t.Fatalf("server power = %v", got)
+	}
+}
+
+func TestMaxStacksByPower(t *testing.T) {
+	if got := MaxStacksByPower(4.72); got != 100 {
+		t.Fatalf("472/4.72 = %d, want 100", got)
+	}
+	if got := MaxStacksByPower(0); got != 0 {
+		t.Fatalf("zero power stacks = %d", got)
+	}
+}
+
+func TestStackArea(t *testing.T) {
+	if got := StackAreaCM2(); math.Abs(got-6.615) > 1e-9 {
+		t.Fatalf("stack area = %v cm2, paper computes 6.615", got)
+	}
+	// Paper §5.5: ~128 stacks fit on 77% of a 13x13in board.
+	if got := MaxStacksByArea(); got < 120 || got > 130 {
+		t.Fatalf("area-limited stacks = %d, paper says ~128", got)
+	}
+	if got := ServerAreaCM2(96); math.Abs(got-635.04) > 0.01 {
+		t.Fatalf("96-stack area = %v, Table 3 says 635", got)
+	}
+}
+
+func TestMaxStacksConstraintSelection(t *testing.T) {
+	// Low power per stack: ports bind at 96.
+	n, limit := MaxStacks(0.5)
+	if n != 96 || limit != LimitPorts {
+		t.Fatalf("got %d/%s, want 96/ports", n, limit)
+	}
+	// High power per stack: power binds.
+	n, limit = MaxStacks(10)
+	if n != 47 || limit != LimitPower {
+		t.Fatalf("got %d/%s, want 47/power", n, limit)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Component] = r
+	}
+	if byName["A7@1GHz"].PowerW != 0.1 || byName["A7@1GHz"].AreaMM2 != 0.58 {
+		t.Fatal("A7 row wrong")
+	}
+	if byName["A15@1.5GHz"].PowerW != 1.0 {
+		t.Fatal("A15@1.5 row wrong")
+	}
+	if byName["3D DRAM (4GB)"].PowerUnit != "W per GB/s" {
+		t.Fatal("DRAM power unit wrong")
+	}
+}
+
+func TestCoreConstantsAgreeWithTable1(t *testing.T) {
+	rows := Table1()
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Component] = r
+	}
+	if cpu.CortexA7().PowerW != byName["A7@1GHz"].PowerW {
+		t.Fatal("cpu package and Table 1 disagree on A7 power")
+	}
+	if cpu.MustCortexA15(1e9).PowerW != byName["A15@1GHz"].PowerW {
+		t.Fatal("cpu package and Table 1 disagree on A15@1GHz power")
+	}
+}

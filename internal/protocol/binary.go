@@ -1,0 +1,418 @@
+package protocol
+
+// The memcached binary protocol: 24-byte framed requests/responses with
+// quiet (pipelined) variants. kvserver sniffs the first byte of a
+// connection (0x80) and routes it here; everything else speaks the ASCII
+// protocol. Opcode coverage matches memcached 1.4: get/getq/getk/getkq,
+// set/add/replace (+quiet), delete(+q), incr/decr(+q), append/prepend
+// (+q), quit(+q), flush(+q), noop, version, touch, stat.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"kv3d/internal/kvstore"
+)
+
+// Binary protocol magic bytes.
+const (
+	MagicRequest  = 0x80
+	MagicResponse = 0x81
+)
+
+// Binary opcodes.
+const (
+	OpGet      = 0x00
+	OpSet      = 0x01
+	OpAdd      = 0x02
+	OpReplace  = 0x03
+	OpDelete   = 0x04
+	OpIncr     = 0x05
+	OpDecr     = 0x06
+	OpQuit     = 0x07
+	OpFlush    = 0x08
+	OpGetQ     = 0x09
+	OpNoop     = 0x0a
+	OpVersion  = 0x0b
+	OpGetK     = 0x0c
+	OpGetKQ    = 0x0d
+	OpAppend   = 0x0e
+	OpPrepend  = 0x0f
+	OpStat     = 0x10
+	OpSetQ     = 0x11
+	OpAddQ     = 0x12
+	OpReplaceQ = 0x13
+	OpDeleteQ  = 0x14
+	OpIncrQ    = 0x15
+	OpDecrQ    = 0x16
+	OpQuitQ    = 0x17
+	OpFlushQ   = 0x18
+	OpAppendQ  = 0x19
+	OpPrependQ = 0x1a
+	OpTouch    = 0x1c
+)
+
+// Binary response status codes.
+const (
+	StatusOK             = 0x0000
+	StatusKeyNotFound    = 0x0001
+	StatusKeyExists      = 0x0002
+	StatusValueTooLarge  = 0x0003
+	StatusInvalidArgs    = 0x0004
+	StatusNotStored      = 0x0005
+	StatusNonNumeric     = 0x0006
+	StatusUnknownCommand = 0x0081
+	StatusOutOfMemory    = 0x0082
+)
+
+const binHeaderLen = 24
+
+// maxBinaryBody bounds one frame's body, mirroring the item size limit
+// plus headroom for key and extras.
+const maxBinaryBody = kvstore.DefaultMaxItemSize + 1024
+
+type binHeader struct {
+	magic     byte
+	opcode    byte
+	keyLen    uint16
+	extrasLen uint8
+	status    uint16 // vbucket on requests
+	bodyLen   uint32
+	opaque    uint32
+	cas       uint64
+}
+
+func parseBinHeader(buf []byte) binHeader {
+	return binHeader{
+		magic:     buf[0],
+		opcode:    buf[1],
+		keyLen:    binary.BigEndian.Uint16(buf[2:]),
+		extrasLen: buf[4],
+		status:    binary.BigEndian.Uint16(buf[6:]),
+		bodyLen:   binary.BigEndian.Uint32(buf[8:]),
+		opaque:    binary.BigEndian.Uint32(buf[12:]),
+		cas:       binary.BigEndian.Uint64(buf[16:]),
+	}
+}
+
+// BinarySession serves the binary protocol on one connection.
+type BinarySession struct {
+	store *kvstore.Store
+	r     *bufio.Reader
+	w     *bufio.Writer
+	body  []byte // reused frame body buffer
+}
+
+// NewBinarySession wraps a transport. The caller must already have
+// consumed nothing from the stream (the magic byte is read here).
+func NewBinarySession(store *kvstore.Store, rw io.ReadWriter) *BinarySession {
+	return &BinarySession{
+		store: store,
+		r:     bufio.NewReaderSize(rw, 64<<10),
+		w:     bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// NewBinarySessionBuffered wraps pre-existing buffered I/O (used by the
+// server after protocol sniffing).
+func NewBinarySessionBuffered(store *kvstore.Store, r *bufio.Reader, w *bufio.Writer) *BinarySession {
+	return &BinarySession{store: store, r: r, w: w}
+}
+
+// Serve processes frames until quit, EOF, or a transport error.
+func (s *BinarySession) Serve() error {
+	for {
+		err := s.serveOne()
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, ErrQuit), errors.Is(err, io.EOF):
+			s.w.Flush()
+			return nil
+		default:
+			s.w.Flush()
+			return err
+		}
+	}
+}
+
+func (s *BinarySession) serveOne() error {
+	var hdr [binHeaderLen]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.EOF
+		}
+		return err
+	}
+	h := parseBinHeader(hdr[:])
+	if h.magic != MagicRequest {
+		return fmt.Errorf("protocol: bad binary magic %#02x", h.magic)
+	}
+	if h.bodyLen > maxBinaryBody {
+		return fmt.Errorf("protocol: binary body %d exceeds limit", h.bodyLen)
+	}
+	if int(h.extrasLen)+int(h.keyLen) > int(h.bodyLen) {
+		return fmt.Errorf("protocol: binary frame lengths inconsistent")
+	}
+	if cap(s.body) < int(h.bodyLen) {
+		s.body = make([]byte, h.bodyLen)
+	}
+	body := s.body[:h.bodyLen]
+	if _, err := io.ReadFull(s.r, body); err != nil {
+		return err
+	}
+	extras := body[:h.extrasLen]
+	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)])
+	value := body[int(h.extrasLen)+int(h.keyLen):]
+
+	switch h.opcode {
+	case OpGet, OpGetQ, OpGetK, OpGetKQ:
+		return s.doGet(h, key)
+	case OpSet, OpSetQ, OpAdd, OpAddQ, OpReplace, OpReplaceQ:
+		return s.doStore(h, extras, key, value)
+	case OpAppend, OpAppendQ, OpPrepend, OpPrependQ:
+		return s.doConcat(h, key, value)
+	case OpDelete, OpDeleteQ:
+		return s.doDelete(h, key)
+	case OpIncr, OpIncrQ, OpDecr, OpDecrQ:
+		return s.doIncrDecr(h, extras, key)
+	case OpTouch:
+		return s.doTouch(h, extras, key)
+	case OpFlush, OpFlushQ:
+		return s.doFlush(h, extras)
+	case OpNoop:
+		return s.respond(h, StatusOK, nil, "", nil, 0)
+	case OpVersion:
+		return s.respond(h, StatusOK, nil, "", []byte(Version), 0)
+	case OpStat:
+		return s.doStat(h)
+	case OpQuit:
+		s.respond(h, StatusOK, nil, "", nil, 0)
+		return ErrQuit
+	case OpQuitQ:
+		return ErrQuit
+	default:
+		return s.respond(h, StatusUnknownCommand, nil, "", []byte("Unknown command"), 0)
+	}
+}
+
+// quiet reports whether the opcode is a quiet variant (success responses
+// suppressed; for getq, miss responses suppressed).
+func quiet(op byte) bool {
+	switch op {
+	case OpGetQ, OpGetKQ, OpSetQ, OpAddQ, OpReplaceQ, OpDeleteQ,
+		OpIncrQ, OpDecrQ, OpQuitQ, OpFlushQ, OpAppendQ, OpPrependQ:
+		return true
+	}
+	return false
+}
+
+// respond writes one response frame.
+func (s *BinarySession) respond(h binHeader, status uint16, extras []byte, key string, value []byte, cas uint64) error {
+	var hdr [binHeaderLen]byte
+	hdr[0] = MagicResponse
+	hdr[1] = h.opcode
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(key)))
+	hdr[4] = byte(len(extras))
+	binary.BigEndian.PutUint16(hdr[6:], status)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(extras)+len(key)+len(value)))
+	binary.BigEndian.PutUint32(hdr[12:], h.opaque)
+	binary.BigEndian.PutUint64(hdr[16:], cas)
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(extras) > 0 {
+		s.w.Write(extras)
+	}
+	if len(key) > 0 {
+		s.w.WriteString(key)
+	}
+	if len(value) > 0 {
+		s.w.Write(value)
+	}
+	return s.w.Flush()
+}
+
+func (s *BinarySession) doGet(h binHeader, key string) error {
+	withKey := h.opcode == OpGetK || h.opcode == OpGetKQ
+	e, ok := s.store.Get(key)
+	if !ok {
+		if quiet(h.opcode) {
+			return nil // getq: silent miss
+		}
+		return s.respond(h, StatusKeyNotFound, nil, "", []byte("Not found"), 0)
+	}
+	var extras [4]byte
+	binary.BigEndian.PutUint32(extras[:], e.Flags)
+	respKey := ""
+	if withKey {
+		respKey = key
+	}
+	return s.respond(h, StatusOK, extras[:], respKey, e.Value, e.CAS)
+}
+
+func (s *BinarySession) doStore(h binHeader, extras []byte, key string, value []byte) error {
+	if len(extras) != 8 {
+		return s.respond(h, StatusInvalidArgs, nil, "", []byte("Invalid arguments"), 0)
+	}
+	flags := binary.BigEndian.Uint32(extras)
+	exptime := int64(int32(binary.BigEndian.Uint32(extras[4:])))
+	var err error
+	switch h.opcode {
+	case OpSet, OpSetQ:
+		if h.cas != 0 {
+			err = s.store.CAS(key, value, flags, exptime, h.cas)
+		} else {
+			err = s.store.Set(key, value, flags, exptime)
+		}
+	case OpAdd, OpAddQ:
+		err = s.store.Add(key, value, flags, exptime)
+	case OpReplace, OpReplaceQ:
+		err = s.store.Replace(key, value, flags, exptime)
+	}
+	if err != nil {
+		return s.respond(h, storeStatus(err), nil, "", []byte(err.Error()), 0)
+	}
+	if quiet(h.opcode) {
+		return nil
+	}
+	e, _ := s.store.Get(key)
+	return s.respond(h, StatusOK, nil, "", nil, e.CAS)
+}
+
+func (s *BinarySession) doConcat(h binHeader, key string, value []byte) error {
+	var err error
+	if h.opcode == OpAppend || h.opcode == OpAppendQ {
+		err = s.store.Append(key, value)
+	} else {
+		err = s.store.Prepend(key, value)
+	}
+	if err != nil {
+		return s.respond(h, storeStatus(err), nil, "", []byte(err.Error()), 0)
+	}
+	if quiet(h.opcode) {
+		return nil
+	}
+	return s.respond(h, StatusOK, nil, "", nil, 0)
+}
+
+func (s *BinarySession) doDelete(h binHeader, key string) error {
+	err := s.store.Delete(key)
+	if err != nil {
+		if quiet(h.opcode) {
+			return nil
+		}
+		return s.respond(h, StatusKeyNotFound, nil, "", []byte("Not found"), 0)
+	}
+	if quiet(h.opcode) {
+		return nil
+	}
+	return s.respond(h, StatusOK, nil, "", nil, 0)
+}
+
+func (s *BinarySession) doIncrDecr(h binHeader, extras []byte, key string) error {
+	if len(extras) != 20 {
+		return s.respond(h, StatusInvalidArgs, nil, "", []byte("Invalid arguments"), 0)
+	}
+	delta := binary.BigEndian.Uint64(extras)
+	initial := binary.BigEndian.Uint64(extras[8:])
+	exptime := int64(int32(binary.BigEndian.Uint32(extras[16:])))
+	incr := h.opcode == OpIncr || h.opcode == OpIncrQ
+
+	var v uint64
+	var err error
+	if incr {
+		v, err = s.store.Incr(key, delta)
+	} else {
+		v, err = s.store.Decr(key, delta)
+	}
+	if errors.Is(err, kvstore.ErrNotFound) {
+		// Binary protocol: exptime 0xffffffff means "do not create".
+		if uint32(exptime) == 0xffffffff {
+			return s.respond(h, StatusKeyNotFound, nil, "", []byte("Not found"), 0)
+		}
+		v = initial
+		err = s.store.Add(key, []byte(strconv.FormatUint(initial, 10)), 0, exptime)
+	}
+	if err != nil {
+		return s.respond(h, storeStatus(err), nil, "", []byte(err.Error()), 0)
+	}
+	if quiet(h.opcode) {
+		return nil
+	}
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], v)
+	e, _ := s.store.Get(key)
+	return s.respond(h, StatusOK, nil, "", out[:], e.CAS)
+}
+
+func (s *BinarySession) doTouch(h binHeader, extras []byte, key string) error {
+	if len(extras) != 4 {
+		return s.respond(h, StatusInvalidArgs, nil, "", []byte("Invalid arguments"), 0)
+	}
+	exptime := int64(int32(binary.BigEndian.Uint32(extras)))
+	if err := s.store.Touch(key, exptime); err != nil {
+		return s.respond(h, StatusKeyNotFound, nil, "", []byte("Not found"), 0)
+	}
+	return s.respond(h, StatusOK, nil, "", nil, 0)
+}
+
+func (s *BinarySession) doFlush(h binHeader, extras []byte) error {
+	var delay int64
+	if len(extras) == 4 {
+		delay = int64(binary.BigEndian.Uint32(extras))
+	}
+	s.store.FlushAll(delay)
+	if quiet(h.opcode) {
+		return nil
+	}
+	return s.respond(h, StatusOK, nil, "", nil, 0)
+}
+
+func (s *BinarySession) doStat(h binHeader) error {
+	st := s.store.Stats()
+	pairs := [][2]string{
+		{"version", Version},
+		{"curr_items", strconv.FormatUint(st.CurrItems, 10)},
+		{"total_items", strconv.FormatUint(st.TotalItems, 10)},
+		{"get_hits", strconv.FormatUint(st.GetHits, 10)},
+		{"get_misses", strconv.FormatUint(st.GetMisses, 10)},
+		{"cmd_set", strconv.FormatUint(st.Sets, 10)},
+		{"evictions", strconv.FormatUint(st.Evictions, 10)},
+		{"bytes", strconv.FormatInt(st.BytesUsed, 10)},
+	}
+	for _, p := range pairs {
+		if err := s.respond(h, StatusOK, nil, p[0], []byte(p[1]), 0); err != nil {
+			return err
+		}
+	}
+	// Terminating empty stat.
+	return s.respond(h, StatusOK, nil, "", nil, 0)
+}
+
+func storeStatus(err error) uint16 {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, kvstore.ErrNotFound):
+		return StatusKeyNotFound
+	case errors.Is(err, kvstore.ErrExists):
+		return StatusKeyExists
+	case errors.Is(err, kvstore.ErrTooLarge):
+		return StatusValueTooLarge
+	case errors.Is(err, kvstore.ErrNotStored):
+		return StatusNotStored
+	case errors.Is(err, kvstore.ErrNotNumeric):
+		return StatusNonNumeric
+	case errors.Is(err, kvstore.ErrOutOfMemory):
+		return StatusOutOfMemory
+	case errors.Is(err, kvstore.ErrBadKey):
+		return StatusInvalidArgs
+	default:
+		return StatusUnknownCommand
+	}
+}

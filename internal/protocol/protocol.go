@@ -1,0 +1,513 @@
+// Package protocol implements the memcached ASCII protocol: command
+// parsing, response serialization, and a per-connection session loop
+// that executes commands against a kvstore.Store. It supports the verb
+// set used by memcached 1.4 (the paper's workload): get/gets, set, add,
+// replace, append, prepend, cas, delete, incr, decr, touch, stats,
+// flush_all, version, verbosity, and quit, including noreply variants.
+package protocol
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kv3d/internal/kvstore"
+)
+
+// Version is reported by the "version" command.
+const Version = "1.4.39-kv3d"
+
+// Wire responses.
+const (
+	respStored    = "STORED\r\n"
+	respNotStored = "NOT_STORED\r\n"
+	respExists    = "EXISTS\r\n"
+	respNotFound  = "NOT_FOUND\r\n"
+	respDeleted   = "DELETED\r\n"
+	respTouched   = "TOUCHED\r\n"
+	respOK        = "OK\r\n"
+	respEnd       = "END\r\n"
+	respError     = "ERROR\r\n"
+)
+
+// maxLineLen bounds a command line, mirroring memcached's 2048 limit.
+const maxLineLen = 2048
+
+// ErrQuit is returned by Session.Serve when the client sent quit.
+var ErrQuit = errors.New("protocol: client quit")
+
+// Session serves the memcached protocol on one connection.
+type Session struct {
+	store *kvstore.Store
+	r     *bufio.Reader
+	w     *bufio.Writer
+	// scratch buffers reused across requests to keep the hot path
+	// allocation-free.
+	valBuf  []byte
+	lineBuf []byte
+}
+
+// NewSession wraps a transport with buffered I/O.
+func NewSession(store *kvstore.Store, rw io.ReadWriter) *Session {
+	return &Session{
+		store: store,
+		r:     bufio.NewReaderSize(rw, 64<<10),
+		w:     bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// NewSessionBuffered wraps pre-existing buffered I/O (used by the server
+// after protocol sniffing).
+func NewSessionBuffered(store *kvstore.Store, r *bufio.Reader, w *bufio.Writer) *Session {
+	return &Session{store: store, r: r, w: w}
+}
+
+// Serve processes commands until EOF, quit, or a transport error.
+// A clean client disconnect returns nil.
+func (s *Session) Serve() error {
+	for {
+		err := s.serveOne()
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, ErrQuit), errors.Is(err, io.EOF):
+			s.w.Flush()
+			return nil
+		default:
+			s.w.Flush()
+			return err
+		}
+	}
+}
+
+// serveOne reads and executes a single command.
+func (s *Session) serveOne() error {
+	line, err := s.readLine()
+	if err != nil {
+		return err
+	}
+	if len(line) == 0 {
+		return s.reply(respError)
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return s.reply(respError)
+	}
+	verb := fields[0]
+	args := fields[1:]
+	switch verb {
+	case "get":
+		return s.doGet(args, false)
+	case "gets":
+		return s.doGet(args, true)
+	case "set", "add", "replace", "append", "prepend":
+		return s.doStore(verb, args, 0)
+	case "cas":
+		return s.doCas(args)
+	case "delete":
+		return s.doDelete(args)
+	case "incr":
+		return s.doIncrDecr(args, true)
+	case "decr":
+		return s.doIncrDecr(args, false)
+	case "touch":
+		return s.doTouch(args)
+	case "stats":
+		return s.doStats(args)
+	case "flush_all":
+		return s.doFlushAll(args)
+	case "version":
+		return s.reply("VERSION " + Version + "\r\n")
+	case "verbosity":
+		if wantsNoReply(args) {
+			return nil
+		}
+		return s.reply(respOK)
+	case "quit":
+		return ErrQuit
+	default:
+		return s.reply(respError)
+	}
+}
+
+// readLine reads a \r\n-terminated command line.
+func (s *Session) readLine() (string, error) {
+	s.lineBuf = s.lineBuf[:0]
+	for {
+		frag, err := s.r.ReadSlice('\n')
+		s.lineBuf = append(s.lineBuf, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(s.lineBuf) > maxLineLen {
+				return "", fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
+			}
+			continue
+		}
+		return "", err
+	}
+	line := s.lineBuf
+	if n := len(line); n >= 2 && line[n-2] == '\r' {
+		line = line[:n-2]
+	} else if n >= 1 {
+		line = line[:n-1] // tolerate bare \n like memcached does
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
+	}
+	return string(line), nil
+}
+
+func (s *Session) reply(msg string) error {
+	_, err := s.w.WriteString(msg)
+	if err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func (s *Session) clientError(msg string) error {
+	return s.reply("CLIENT_ERROR " + msg + "\r\n")
+}
+
+func wantsNoReply(args []string) bool {
+	return len(args) > 0 && args[len(args)-1] == "noreply"
+}
+
+func (s *Session) doGet(keys []string, withCAS bool) error {
+	if len(keys) == 0 {
+		return s.reply(respError)
+	}
+	for _, key := range keys {
+		s.valBuf = s.valBuf[:0]
+		out, e, ok := s.store.GetInto(s.valBuf, key)
+		s.valBuf = out[:0]
+		if !ok {
+			continue
+		}
+		if withCAS {
+			fmt.Fprintf(s.w, "VALUE %s %d %d %d\r\n", key, e.Flags, len(out), e.CAS)
+		} else {
+			fmt.Fprintf(s.w, "VALUE %s %d %d\r\n", key, e.Flags, len(out))
+		}
+		s.w.Write(out)
+		s.w.WriteString("\r\n")
+	}
+	_, err := s.w.WriteString(respEnd)
+	if err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// parseStorageArgs parses "<key> <flags> <exptime> <bytes> [noreply]".
+func parseStorageArgs(args []string, extra int) (key string, flags uint32, exptime int64, nbytes int, cas uint64, noreply bool, err error) {
+	want := 4 + extra
+	if len(args) == want+1 && args[want] == "noreply" {
+		noreply = true
+		args = args[:want]
+	}
+	if len(args) != want {
+		return "", 0, 0, 0, 0, false, errors.New("bad command line format")
+	}
+	key = args[0]
+	f64, err := strconv.ParseUint(args[1], 10, 32)
+	if err != nil {
+		return "", 0, 0, 0, 0, false, errors.New("bad command line format")
+	}
+	exptime, err = strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		return "", 0, 0, 0, 0, false, errors.New("bad command line format")
+	}
+	n64, err := strconv.ParseUint(args[3], 10, 31)
+	if err != nil {
+		return "", 0, 0, 0, 0, false, errors.New("bad data chunk size")
+	}
+	if extra == 1 {
+		cas, err = strconv.ParseUint(args[4], 10, 64)
+		if err != nil {
+			return "", 0, 0, 0, 0, false, errors.New("bad command line format")
+		}
+	}
+	return key, uint32(f64), exptime, int(n64), cas, noreply, nil
+}
+
+// readData reads the nbytes data block plus trailing \r\n.
+func (s *Session) readData(nbytes int) ([]byte, error) {
+	if cap(s.valBuf) < nbytes+2 {
+		s.valBuf = make([]byte, nbytes+2)
+	}
+	buf := s.valBuf[:nbytes+2]
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return nil, err
+	}
+	if buf[nbytes] != '\r' || buf[nbytes+1] != '\n' {
+		return nil, errors.New("bad data chunk")
+	}
+	return buf[:nbytes], nil
+}
+
+func (s *Session) doStore(verb string, args []string, _ int) error {
+	key, flags, exptime, nbytes, _, noreply, perr := parseStorageArgs(args, 0)
+	if perr != nil {
+		return s.clientError(perr.Error())
+	}
+	data, err := s.readData(nbytes)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.EOF
+		}
+		return s.clientError("bad data chunk")
+	}
+	var serr error
+	switch verb {
+	case "set":
+		serr = s.store.Set(key, data, flags, exptime)
+	case "add":
+		serr = s.store.Add(key, data, flags, exptime)
+	case "replace":
+		serr = s.store.Replace(key, data, flags, exptime)
+	case "append":
+		serr = s.store.Append(key, data)
+	case "prepend":
+		serr = s.store.Prepend(key, data)
+	}
+	if noreply {
+		return nil
+	}
+	return s.reply(storeResponse(serr))
+}
+
+func (s *Session) doCas(args []string) error {
+	key, flags, exptime, nbytes, cas, noreply, perr := parseStorageArgs(args, 1)
+	if perr != nil {
+		return s.clientError(perr.Error())
+	}
+	data, err := s.readData(nbytes)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.EOF
+		}
+		return s.clientError("bad data chunk")
+	}
+	serr := s.store.CAS(key, data, flags, exptime, cas)
+	if noreply {
+		return nil
+	}
+	switch {
+	case serr == nil:
+		return s.reply(respStored)
+	case errors.Is(serr, kvstore.ErrExists):
+		return s.reply(respExists)
+	case errors.Is(serr, kvstore.ErrNotFound):
+		return s.reply(respNotFound)
+	default:
+		return s.reply(storeResponse(serr))
+	}
+}
+
+func storeResponse(err error) string {
+	switch {
+	case err == nil:
+		return respStored
+	case errors.Is(err, kvstore.ErrNotStored):
+		return respNotStored
+	case errors.Is(err, kvstore.ErrTooLarge):
+		return "SERVER_ERROR object too large for cache\r\n"
+	case errors.Is(err, kvstore.ErrOutOfMemory):
+		return "SERVER_ERROR out of memory storing object\r\n"
+	case errors.Is(err, kvstore.ErrBadKey):
+		return "CLIENT_ERROR bad key\r\n"
+	default:
+		return "SERVER_ERROR " + err.Error() + "\r\n"
+	}
+}
+
+func (s *Session) doDelete(args []string) error {
+	noreply := wantsNoReply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) != 1 {
+		return s.clientError("bad command line format")
+	}
+	err := s.store.Delete(args[0])
+	if noreply {
+		return nil
+	}
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return s.reply(respNotFound)
+	}
+	return s.reply(respDeleted)
+}
+
+func (s *Session) doIncrDecr(args []string, incr bool) error {
+	noreply := wantsNoReply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 {
+		return s.clientError("bad command line format")
+	}
+	delta, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return s.clientError("invalid numeric delta argument")
+	}
+	var v uint64
+	if incr {
+		v, err = s.store.Incr(args[0], delta)
+	} else {
+		v, err = s.store.Decr(args[0], delta)
+	}
+	if noreply {
+		return nil
+	}
+	switch {
+	case err == nil:
+		return s.reply(strconv.FormatUint(v, 10) + "\r\n")
+	case errors.Is(err, kvstore.ErrNotFound):
+		return s.reply(respNotFound)
+	case errors.Is(err, kvstore.ErrNotNumeric):
+		return s.clientError("cannot increment or decrement non-numeric value")
+	default:
+		return s.reply("SERVER_ERROR " + err.Error() + "\r\n")
+	}
+}
+
+func (s *Session) doTouch(args []string) error {
+	noreply := wantsNoReply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 {
+		return s.clientError("bad command line format")
+	}
+	exptime, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return s.clientError("invalid exptime argument")
+	}
+	terr := s.store.Touch(args[0], exptime)
+	if noreply {
+		return nil
+	}
+	if errors.Is(terr, kvstore.ErrNotFound) {
+		return s.reply(respNotFound)
+	}
+	return s.reply(respTouched)
+}
+
+func (s *Session) doStats(args []string) error {
+	if len(args) == 1 {
+		switch args[0] {
+		case "slabs":
+			return s.doStatsSlabs()
+		case "settings":
+			return s.doStatsSettings()
+		case "reset":
+			// Accepted for compatibility; counters are cumulative here.
+			return s.reply("RESET\r\n")
+		default:
+			return s.clientError("unknown stats sub-command")
+		}
+	}
+	st := s.store.Stats()
+	write := func(name string, value any) {
+		fmt.Fprintf(s.w, "STAT %s %v\r\n", name, value)
+	}
+	write("version", Version)
+	write("uptime", st.UptimeSeconds)
+	write("curr_items", st.CurrItems)
+	write("total_items", st.TotalItems)
+	write("bytes", st.BytesUsed)
+	write("limit_maxbytes", st.SlabBytes)
+	write("get_hits", st.GetHits)
+	write("get_misses", st.GetMisses)
+	write("cmd_set", st.Sets)
+	write("delete_hits", st.DeleteHits)
+	write("delete_misses", st.DeleteMisses)
+	write("cas_hits", st.CasHits)
+	write("cas_misses", st.CasMisses)
+	write("cas_badval", st.CasBadval)
+	write("incr_hits", st.IncrHits)
+	write("incr_misses", st.IncrMisses)
+	write("decr_hits", st.DecrHits)
+	write("decr_misses", st.DecrMisses)
+	write("touch_hits", st.TouchHits)
+	write("touch_misses", st.TouchMisses)
+	write("evictions", st.Evictions)
+	write("expired_unfetched", st.Expired)
+	write("threads", st.Shards)
+	_, err := s.w.WriteString(respEnd)
+	if err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// doStatsSlabs renders the per-class slab view like memcached's
+// "stats slabs".
+func (s *Session) doStatsSlabs() error {
+	for _, c := range s.store.SlabStats() {
+		fmt.Fprintf(s.w, "STAT %d:chunk_size %d\r\n", c.ClassID, c.ChunkSize)
+		fmt.Fprintf(s.w, "STAT %d:total_pages %d\r\n", c.ClassID, c.Pages)
+		fmt.Fprintf(s.w, "STAT %d:used_chunks %d\r\n", c.ClassID, c.UsedChunks)
+		fmt.Fprintf(s.w, "STAT %d:free_chunks %d\r\n", c.ClassID, c.FreeChunks)
+	}
+	st := s.store.Stats()
+	fmt.Fprintf(s.w, "STAT active_slabs %d\r\n", len(s.store.SlabStats()))
+	fmt.Fprintf(s.w, "STAT slab_reassign_total %d\r\n", st.SlabReassigns)
+	if _, err := s.w.WriteString(respEnd); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// doStatsSettings reports the store's effective configuration.
+func (s *Session) doStatsSettings() error {
+	cfg := s.store.Config()
+	fmt.Fprintf(s.w, "STAT maxbytes %d\r\n", cfg.MemoryLimit)
+	fmt.Fprintf(s.w, "STAT item_size_max %d\r\n", cfg.MaxItemSize)
+	fmt.Fprintf(s.w, "STAT evictions %v\r\n", boolToOnOff(cfg.EvictionsEnabled))
+	fmt.Fprintf(s.w, "STAT eviction_policy %s\r\n", cfg.Policy)
+	fmt.Fprintf(s.w, "STAT locking %s\r\n", cfg.Mode)
+	fmt.Fprintf(s.w, "STAT num_shards %d\r\n", cfg.Shards)
+	fmt.Fprintf(s.w, "STAT slab_page_size %d\r\n", cfg.SlabPageSize)
+	fmt.Fprintf(s.w, "STAT growth_factor %.2f\r\n", cfg.GrowthFactor)
+	if _, err := s.w.WriteString(respEnd); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func boolToOnOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func (s *Session) doFlushAll(args []string) error {
+	noreply := wantsNoReply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	var delay int64
+	if len(args) == 1 {
+		var err error
+		delay, err = strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return s.clientError("invalid delay argument")
+		}
+	} else if len(args) > 1 {
+		return s.clientError("bad command line format")
+	}
+	s.store.FlushAll(delay)
+	if noreply {
+		return nil
+	}
+	return s.reply(respOK)
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned ASCII tables,
+// the output format of the kv3d-bench harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Note is free-form commentary printed under the table.
+	Note string
+}
+
+// AddRow appends a row of cells, stringifying values.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprint(w, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		fmt.Fprintln(w, strings.Repeat("-", total-2))
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bytes formats a byte count in binary units.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.1fTB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// SI formats a count with K/M/G suffixes.
+func SI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Columns: []string{"Name", "Value"},
+		Note:    "just a demo",
+	}
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta-longer", 2.5)
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Demo\n====\n") {
+		t.Fatalf("title block wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "note: just a demo") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	// Columns must align: "alpha" padded to the width of "beta-longer".
+	lines := strings.Split(out, "\n")
+	var alphaLine, betaLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "beta-longer") {
+			betaLine = l
+		}
+	}
+	if alphaLine == "" || betaLine == "" {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if strings.Index(alphaLine, "1") != strings.Index(betaLine, "2.5") {
+		t.Fatalf("columns misaligned:\n%q\n%q", alphaLine, betaLine)
+	}
+}
+
+func TestAddRowStringification(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b", "c", "d"}}
+	tbl.AddRow("s", 42, 3.14159, 12345.6)
+	row := tbl.Rows[0]
+	if row[0] != "s" || row[1] != "42" {
+		t.Fatalf("row = %v", row)
+	}
+	if row[2] != "3.14" {
+		t.Fatalf("small float formatting: %q", row[2])
+	}
+	if row[3] != "12346" {
+		t.Fatalf("large float formatting: %q", row[3])
+	}
+}
+
+func TestFormatFloatZero(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	tbl.AddRow(0.0)
+	if tbl.Rows[0][0] != "0" {
+		t.Fatalf("zero float = %q", tbl.Rows[0][0])
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tbl := &Table{Columns: []string{"x"}}
+	tbl.AddRow("v")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n=") {
+		t.Fatalf("untitled table should skip the title block:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "v") {
+		t.Fatal("content missing")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:          "512B",
+		2 << 10:      "2.0KB",
+		3 << 20:      "3.0MB",
+		4 << 30:      "4.0GB",
+		2 << 40:      "2.0TB",
+		1536 << 20:   "1.5GB",
+		19 << 30 / 2: "9.5GB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := map[float64]string{
+		5:      "5.0",
+		1500:   "1.5K",
+		2.5e6:  "2.50M",
+		3.25e9: "3.25G",
+		54770:  "54.8K",
+		32.7e6: "32.70M",
+	}
+	for in, want := range cases {
+		if got := SI(in); got != want {
+			t.Errorf("SI(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"testing"
+
+	"kv3d/internal/cpu"
+	"kv3d/internal/memmodel"
+	"kv3d/internal/phys"
+)
+
+func eval(t *testing.T, d Design) Evaluation {
+	t.Helper()
+	e, err := Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMercury32A7MatchesTable4(t *testing.T) {
+	e := eval(t, Mercury(cpu.CortexA7(), 32))
+	// Paper Table 4: 93 stacks, 2976 cores, 372GB, 597W, 32.70M TPS,
+	// 54.77 KTPS/W, 87.91 KTPS/GB, 2.09 GB/s.
+	if e.Stacks < 88 || e.Stacks > 96 {
+		t.Fatalf("stacks = %d, paper says 93", e.Stacks)
+	}
+	if tps := e.TPS64B / 1e6; tps < 29 || tps > 37 {
+		t.Fatalf("TPS = %.2fM, paper says 32.70M", tps)
+	}
+	if w := e.Power64BW; w < 540 || w > 660 {
+		t.Fatalf("power = %.0fW, paper says 597W", w)
+	}
+	if tpw := e.TPSPerWatt() / 1e3; tpw < 49 || tpw > 60 {
+		t.Fatalf("TPS/W = %.1fK, paper says 54.77K", tpw)
+	}
+	if tpg := e.TPSPerGB() / 1e3; tpg < 79 || tpg > 97 {
+		t.Fatalf("TPS/GB = %.1fK, paper says 87.91K", tpg)
+	}
+	if bw := e.BW64BBytesPerSec / 1e9; bw < 1.8 || bw > 2.5 {
+		t.Fatalf("64B bandwidth = %.2f GB/s, paper says 2.09", bw)
+	}
+}
+
+func TestIridium32A7MatchesTable4(t *testing.T) {
+	e := eval(t, Iridium(cpu.CortexA7(), 32))
+	// Paper Table 4: 96 stacks, 1901GB, 611W, 16.49M TPS, 26.98 KTPS/W,
+	// 8.67 KTPS/GB.
+	if e.Stacks != 96 {
+		t.Fatalf("stacks = %d, paper says 96", e.Stacks)
+	}
+	if gb := float64(e.DensityBytes) / (1 << 30); gb < 1870 || gb > 1930 {
+		t.Fatalf("density = %.0fGB, paper says 1901", gb)
+	}
+	if tps := e.TPS64B / 1e6; tps < 13 || tps > 19 {
+		t.Fatalf("TPS = %.2fM, paper says 16.49M", tps)
+	}
+	if tpw := e.TPSPerWatt() / 1e3; tpw < 22 || tpw > 31 {
+		t.Fatalf("TPS/W = %.1fK, paper says 26.98K", tpw)
+	}
+}
+
+func TestA15PowerLimitsDensity(t *testing.T) {
+	// Paper Table 3: A15@1.5GHz Mercury-8 fits only ~50 stacks (200GB);
+	// at 16 cores ~27; A7 keeps ~96 everywhere.
+	e8 := eval(t, Mercury(cpu.MustCortexA15(1.5e9), 8))
+	if e8.Stacks < 45 || e8.Stacks > 58 {
+		t.Fatalf("A15@1.5 Mercury-8 stacks = %d, paper says 50", e8.Stacks)
+	}
+	if e8.LimitedBy != phys.LimitPower {
+		t.Fatalf("limit = %s, want power", e8.LimitedBy)
+	}
+	e16 := eval(t, Mercury(cpu.MustCortexA15(1.5e9), 16))
+	if e16.Stacks < 24 || e16.Stacks > 30 {
+		t.Fatalf("A15@1.5 Mercury-16 stacks = %d, paper says 27", e16.Stacks)
+	}
+	a7 := eval(t, Mercury(cpu.CortexA7(), 16))
+	if a7.Stacks != 96 {
+		t.Fatalf("A7 Mercury-16 stacks = %d, paper says 96", a7.Stacks)
+	}
+	if a7.LimitedBy != phys.LimitPorts {
+		t.Fatalf("A7 limit = %s, want ports", a7.LimitedBy)
+	}
+}
+
+func TestA7MostEfficientAt32Cores(t *testing.T) {
+	// §6.4: "A Mercury-32 system using A7s is the most efficient design."
+	best := eval(t, Mercury(cpu.CortexA7(), 32))
+	for _, core := range []cpu.Core{cpu.MustCortexA15(1e9), cpu.MustCortexA15(1.5e9)} {
+		other := eval(t, Mercury(core, 32))
+		if other.TPS64B >= best.TPS64B {
+			t.Fatalf("%s Mercury-32 TPS %.1fM >= A7's %.1fM", core.Name(), other.TPS64B/1e6, best.TPS64B/1e6)
+		}
+		if other.TPSPerWatt() >= best.TPSPerWatt() {
+			t.Fatalf("%s Mercury-32 TPS/W beats A7", core.Name())
+		}
+	}
+}
+
+func TestIridiumDensityVsMercury(t *testing.T) {
+	// §6.3: Iridium-32 has ~5x Mercury-32's density at ~half the TPS.
+	m := eval(t, Mercury(cpu.CortexA7(), 32))
+	i := eval(t, Iridium(cpu.CortexA7(), 32))
+	dens := float64(i.DensityBytes) / float64(m.DensityBytes)
+	if dens < 4.5 || dens > 5.6 {
+		t.Fatalf("Iridium/Mercury density = %.2f, paper says ~5x", dens)
+	}
+	tps := m.TPS64B / i.TPS64B
+	if tps < 1.7 || tps > 2.6 {
+		t.Fatalf("Mercury/Iridium TPS = %.2f, paper says ~2x", tps)
+	}
+}
+
+func TestPowerNeverExceedsSupply(t *testing.T) {
+	for _, core := range CoreConfigs() {
+		for _, n := range CoreCounts() {
+			for _, d := range []Design{Mercury(core, n), Iridium(core, n)} {
+				e := eval(t, d)
+				if e.PowerMaxW > phys.SupplyW {
+					t.Errorf("%s on %s draws %.0fW > 750W supply", d.Name, core.Name(), e.PowerMaxW)
+				}
+				if e.Stacks > phys.MaxNICPorts {
+					t.Errorf("%s on %s fits %d stacks > 96 ports", d.Name, core.Name(), e.Stacks)
+				}
+				if e.Stacks <= 0 {
+					t.Errorf("%s on %s fits no stacks", d.Name, core.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestThroughputGrowsWithCoresForA7(t *testing.T) {
+	prev := 0.0
+	for _, n := range CoreCounts() {
+		e := eval(t, Mercury(cpu.CortexA7(), n))
+		if e.TPS64B <= prev {
+			t.Fatalf("A7 Mercury TPS should grow with n: %.1fM at n=%d", e.TPS64B/1e6, n)
+		}
+		prev = e.TPS64B
+	}
+}
+
+func TestA15ThroughputPlateaus(t *testing.T) {
+	// Paper Fig. 7a/8a: A15 TPS levels off at n>=8 as power steals stacks.
+	e8 := eval(t, Mercury(cpu.MustCortexA15(1e9), 8))
+	e32 := eval(t, Mercury(cpu.MustCortexA15(1e9), 32))
+	if e32.TPS64B > e8.TPS64B*1.35 {
+		t.Fatalf("A15 TPS should plateau: n=8 %.1fM vs n=32 %.1fM", e8.TPS64B/1e6, e32.TPS64B/1e6)
+	}
+	if e32.DensityBytes >= e8.DensityBytes {
+		t.Fatal("A15 density must fall as cores crowd out stacks")
+	}
+}
+
+func TestSubMillisecondSLAAtServerLevel(t *testing.T) {
+	for _, d := range []Design{Mercury(cpu.CortexA7(), 32), Iridium(cpu.CortexA7(), 32)} {
+		e := eval(t, d)
+		if e.SubMsFraction64B < 0.9 {
+			t.Fatalf("%s: only %.0f%% of requests under 1ms", d.Name, e.SubMsFraction64B*100)
+		}
+	}
+}
+
+func TestDesignConstructors(t *testing.T) {
+	m := Mercury(cpu.CortexA7(), 8)
+	if m.Name != "Mercury-8" || m.Mem.Kind() != memmodel.KindDRAM {
+		t.Fatalf("mercury = %+v", m)
+	}
+	i := Iridium(cpu.CortexA7(), 16)
+	if i.Name != "Iridium-16" || i.Mem.Kind() != memmodel.KindFlash {
+		t.Fatalf("iridium = %+v", i)
+	}
+}
+
+func TestEvaluateRejectsBadDesign(t *testing.T) {
+	d := Mercury(cpu.CortexA7(), 64)
+	if _, err := Evaluate(d); err == nil {
+		t.Fatal("64 cores per stack should be rejected")
+	}
+}
+
+func TestMetricsGuards(t *testing.T) {
+	var e Evaluation
+	if e.TPSPerWatt() != 0 || e.TPSPerGB() != 0 {
+		t.Fatal("zero evaluation should not divide by zero")
+	}
+}

@@ -1,0 +1,184 @@
+// Package serversim simulates a full 1.5U Mercury/Iridium box under
+// open-loop load: Poisson request arrivals are routed to stacks by a
+// consistent-hash ring (optionally with Zipf-skewed keys), each stack
+// serves them from its pool of cores, and server-side latency is
+// measured as queueing plus service. This answers the question the
+// paper's closed-loop, single-outstanding-request methodology cannot:
+// how much of the nominal (linear-scaled) throughput is usable before
+// queueing blows the sub-millisecond SLA, and how much hot-key skew
+// erodes it.
+package serversim
+
+import (
+	"fmt"
+
+	"kv3d/internal/cluster"
+	"kv3d/internal/metrics"
+	"kv3d/internal/sim"
+	"kv3d/internal/stackmodel"
+	"kv3d/internal/workload"
+)
+
+// Config describes one open-loop server experiment.
+type Config struct {
+	// Stack is the per-stack configuration (cores, cache, memory).
+	Stack stackmodel.Config
+	// Stacks is the number of stacks in the box.
+	Stacks int
+	// Op and ValueBytes shape every request.
+	Op         stackmodel.Op
+	ValueBytes int64
+	// OfferedTPS is the open-loop arrival rate for the whole server.
+	OfferedTPS float64
+	// ZipfSkew skews key popularity (0 = uniform keys).
+	ZipfSkew float64
+	// Keys is the key-space size (default 100k).
+	Keys int
+	// VirtualNodes per stack on the routing ring (default 160).
+	VirtualNodes int
+	// Duration is the simulated time span (default 200ms).
+	Duration sim.Duration
+	// WarmupFraction of the duration is excluded from stats (default 0.2).
+	WarmupFraction float64
+	// Seed drives arrivals and key choice.
+	Seed uint64
+}
+
+// Result reports the measured open-loop behaviour.
+type Result struct {
+	// OfferedTPS and CompletedTPS; a completed rate noticeably below
+	// offered means the box is saturated (queues still growing at the
+	// end of the run).
+	OfferedTPS   float64
+	CompletedTPS float64
+	// Latency is the server-side sojourn time (queueing + service).
+	Latency metrics.Summary
+	// SubMsFraction is the share of measured requests under 1ms.
+	SubMsFraction float64
+	// HottestUtilization and MeanUtilization of the per-stack core pools.
+	HottestUtilization float64
+	MeanUtilization    float64
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Stack.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Stacks <= 0 {
+		return Result{}, fmt.Errorf("serversim: need stacks > 0, got %d", cfg.Stacks)
+	}
+	if cfg.OfferedTPS <= 0 {
+		return Result{}, fmt.Errorf("serversim: need a positive offered rate")
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100_000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * sim.Millisecond
+	}
+	if cfg.WarmupFraction <= 0 || cfg.WarmupFraction >= 1 {
+		cfg.WarmupFraction = 0.2
+	}
+
+	// Per-request service demand, from the calibrated stack model.
+	ref, err := stackmodel.NewStack(cfg.Stack)
+	if err != nil {
+		return Result{}, err
+	}
+	service := ref.ServiceTime(cfg.Op, cfg.ValueBytes)
+
+	s := sim.New()
+	stacks := make([]*sim.Resource, cfg.Stacks)
+	names := make([]string, cfg.Stacks)
+	ring := cluster.NewRing(cfg.VirtualNodes)
+	byName := make(map[string]*sim.Resource, cfg.Stacks)
+	for i := range stacks {
+		names[i] = fmt.Sprintf("stack-%02d", i)
+		stacks[i] = sim.NewResource(s, names[i], cfg.Stack.CoresPerStack)
+		ring.Add(names[i])
+		byName[names[i]] = stacks[i]
+	}
+
+	rng := sim.NewRand(cfg.Seed + 1)
+	var zipf *workload.Zipf
+	if cfg.ZipfSkew > 0 {
+		zipf, err = workload.NewZipf(cfg.ZipfSkew, cfg.Keys)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	keyFor := func() string {
+		rank := rng.Intn(cfg.Keys)
+		if zipf != nil {
+			rank = zipf.Sample(rng)
+		}
+		return fmt.Sprintf("key:%08d", rank)
+	}
+
+	hist := metrics.NewHistogram()
+	warmEnd := sim.Time(float64(cfg.Duration) * cfg.WarmupFraction)
+	end := sim.Time(cfg.Duration)
+	completedInWindow := 0
+
+	mean := sim.FromSeconds(1 / cfg.OfferedTPS)
+	arrivals := sim.NewRand(cfg.Seed + 2)
+	var arrive func()
+	arrive = func() {
+		now := s.Now()
+		if now >= end {
+			return
+		}
+		node, err := ring.Locate(keyFor())
+		if err == nil {
+			res := byName[node]
+			start := now
+			res.Acquire(service, func() {
+				done := s.Now()
+				if start >= warmEnd && start < end {
+					hist.Record(int64(done.Sub(start)))
+				}
+				// Throughput counts completions inside the window —
+				// counting by arrival would credit queued work that
+				// has not been served yet.
+				if done >= warmEnd && done < end {
+					completedInWindow++
+				}
+			})
+		}
+		s.After(arrivals.Exp(mean), arrive)
+	}
+	s.After(arrivals.Exp(mean), arrive)
+
+	// Run past the end so in-flight requests drain (bounded: 50 extra ms).
+	s.RunUntil(end.Add(50 * sim.Millisecond))
+
+	window := sim.Duration(end - warmEnd)
+	var maxU, sumU float64
+	for _, r := range stacks {
+		u := r.Utilization(sim.Duration(s.Now()))
+		sumU += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	return Result{
+		OfferedTPS:         cfg.OfferedTPS,
+		CompletedTPS:       float64(completedInWindow) / window.Seconds(),
+		Latency:            hist.Summarize(),
+		SubMsFraction:      hist.FractionBelow(int64(sim.Millisecond)),
+		HottestUtilization: maxU,
+		MeanUtilization:    sumU / float64(len(stacks)),
+	}, nil
+}
+
+// NominalTPS returns the linear-scaling capacity the paper reports:
+// stacks x cores / service time.
+func NominalTPS(cfg Config) (float64, error) {
+	ref, err := stackmodel.NewStack(cfg.Stack)
+	if err != nil {
+		return 0, err
+	}
+	service := ref.ServiceTime(cfg.Op, cfg.ValueBytes)
+	return float64(cfg.Stacks) * float64(cfg.Stack.CoresPerStack) / service.Seconds(), nil
+}

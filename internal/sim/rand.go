@@ -1,0 +1,66 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic PRNG (splitmix64 seeded xorshift star)
+// kept inside the sim package so model code never reaches for the global
+// math/rand state; every experiment owns its streams and is replayable.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a deterministic generator for the given seed. Seed 0
+// is remapped so the generator never sticks at zero.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{state: seed}
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	// Warm the state through splitmix so close seeds diverge.
+	r.state = splitmix64(&r.state)
+	if r.state == 0 {
+		r.state = 1
+	}
+	return r
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits (xorshift64*).
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// used for open-loop arrival processes.
+func (r *Rand) Exp(mean Duration) Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return FromSeconds(-mean.Seconds() * math.Log(u))
+}

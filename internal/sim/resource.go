@@ -1,0 +1,98 @@
+package sim
+
+// Resource models a service station with a fixed number of identical
+// servers and an unbounded FIFO queue. Jobs request service for a given
+// duration; when a server becomes free the job's completion callback is
+// scheduled. This is the building block for memory ports, flash
+// controllers, NIC MACs and wire links.
+type Resource struct {
+	sim     *Simulator
+	name    string
+	servers int
+	busy    int
+	waiting []*job
+
+	// Stats.
+	served       uint64
+	busyTime     Duration // integrated over servers
+	queueDelay   Duration
+	maxQueueLen  int
+	lastStatTime Time
+}
+
+type job struct {
+	enqueued Time
+	service  Duration
+	done     func()
+}
+
+// NewResource creates a resource with the given parallelism.
+func NewResource(s *Simulator, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{sim: s, name: name, servers: servers}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire enqueues a job needing the given service time; done runs when
+// service completes. Service order is strictly FIFO.
+func (r *Resource) Acquire(service Duration, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	j := &job{enqueued: r.sim.Now(), service: service, done: done}
+	if r.busy < r.servers {
+		r.start(j)
+		return
+	}
+	r.waiting = append(r.waiting, j)
+	if len(r.waiting) > r.maxQueueLen {
+		r.maxQueueLen = len(r.waiting)
+	}
+}
+
+func (r *Resource) start(j *job) {
+	r.busy++
+	r.queueDelay += r.sim.Now().Sub(j.enqueued)
+	r.busyTime += j.service
+	r.sim.After(j.service, func() {
+		r.busy--
+		r.served++
+		if len(r.waiting) > 0 {
+			next := r.waiting[0]
+			copy(r.waiting, r.waiting[1:])
+			r.waiting[len(r.waiting)-1] = nil
+			r.waiting = r.waiting[:len(r.waiting)-1]
+			r.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+// Served reports how many jobs completed service.
+func (r *Resource) Served() uint64 { return r.served }
+
+// Busy reports how many servers are currently serving.
+func (r *Resource) Busy() int { return r.busy }
+
+// QueueLen reports the current number of waiting jobs.
+func (r *Resource) QueueLen() int { return len(r.waiting) }
+
+// MaxQueueLen reports the high-water mark of the waiting queue.
+func (r *Resource) MaxQueueLen() int { return r.maxQueueLen }
+
+// Utilization returns integrated busy time divided by (servers × span).
+func (r *Resource) Utilization(span Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return r.busyTime.Seconds() / (float64(r.servers) * span.Seconds())
+}
+
+// TotalQueueDelay returns the summed time jobs spent waiting for a server.
+func (r *Resource) TotalQueueDelay() Duration { return r.queueDelay }

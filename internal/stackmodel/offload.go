@@ -1,0 +1,92 @@
+package stackmodel
+
+import (
+	"kv3d/internal/sim"
+)
+
+// Offload models a TSSP-style GET accelerator (§3.7, Lim et al.)
+// integrated into the 3D stack: a hardware pipeline next to the NIC MAC
+// holds the hash table and answers GETs without waking a core. The
+// paper's TSSP sits beside a conventional server; putting the same
+// engine on a Mercury stack is the natural composition of the two ideas
+// and quantifies how far specialization can push TPS/W beyond many
+// wimpy cores.
+//
+// GETs run through the engine (fixed pipeline occupancy plus the usual
+// storage-port access); PUTs and everything else still go to the cores,
+// exactly like TSSP's software fallback path.
+type Offload struct {
+	// EngineTime is the pipeline occupancy per GET: parse, hash,
+	// response generation. TSSP-like engines sustain a few hundred
+	// thousand GETs/s, i.e. a few microseconds of occupancy.
+	EngineTime sim.Duration
+	// PowerW is the engine's power draw (logic next to the MAC).
+	PowerW float64
+}
+
+// TSSPOffload returns an engine calibrated to the published TSSP rate
+// (~280 KTPS from one engine) at accelerator-class power.
+func TSSPOffload() Offload {
+	return Offload{
+		EngineTime: sim.FromMicros(3.5), // ~285K GETs/s per engine
+		PowerW:     1.0,
+	}
+}
+
+// withOffload attaches the engine resource to a stack (called from
+// NewStack when the config carries an Offload).
+func (st *Stack) withOffload(o Offload) {
+	st.offload = &o
+	st.accel = sim.NewResource(st.simr, "accel", 1)
+}
+
+// runOneOffloaded serves a GET through the accelerator path: wire → MAC
+// → engine → storage port → MAC → wire. Cores are untouched.
+func (st *Stack) runOneOffloaded(op Op, valueBytes int64, done func()) {
+	st.reqID++
+	id := st.reqID
+	reqP, respP := payloads(op, valueBytes)
+	st.buf.Append(traceRecord(st.simr.Now(), true, reqP, id))
+	st.up.Send(reqP, func() {
+		st.mac.Forward(reqP, func() {
+			st.accel.Acquire(st.offload.EngineTime, func() {
+				st.ports[0].Acquire(st.portOccupancy(op, valueBytes), func() {
+					st.mac.Forward(respP, func() {
+						st.down.Send(respP, func() {
+							st.buf.Append(traceRecord(st.simr.Now(), false, respP, id))
+							done()
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// MeasureOffloaded drives closed-loop GETs through the accelerator with
+// the given number of outstanding requests (the engine is pipelined, so
+// unlike a blocking core it benefits from concurrency).
+func (st *Stack) MeasureOffloaded(valueBytes int64, outstanding, requestsPerClient int) (Result, error) {
+	if st.offload == nil {
+		return Result{}, errNoOffload
+	}
+	if outstanding < 1 || requestsPerClient < 1 {
+		return Result{}, errBadArgs
+	}
+	st.buf.Reset()
+	start := st.simr.Now()
+	for c := 0; c < outstanding; c++ {
+		remaining := requestsPerClient
+		var issue func()
+		issue = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			st.runOneOffloaded(Get, valueBytes, func() { issue() })
+		}
+		issue()
+	}
+	st.simr.Run()
+	return st.collectResult(start, outstanding)
+}

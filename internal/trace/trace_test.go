@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"kv3d/internal/sim"
+)
+
+func TestExtractRTTsBasic(t *testing.T) {
+	var b Buffer
+	b.Append(Record{Time: 100, Dir: ClientToServer, ReqID: 1, Bytes: 64})
+	b.Append(Record{Time: 500, Dir: ServerToClient, ReqID: 1, Bytes: 128})
+	rtts := ExtractRTTs(b.Records())
+	if len(rtts) != 1 {
+		t.Fatalf("got %d rtts", len(rtts))
+	}
+	if rtts[0].ReqID != 1 || rtts[0].Duration != 400 {
+		t.Fatalf("rtt = %+v", rtts[0])
+	}
+}
+
+func TestExtractRTTsMultiPacket(t *testing.T) {
+	// Multiple response records for one request: RTT keys on the last.
+	recs := []Record{
+		{Time: 100, Dir: ClientToServer, ReqID: 7},
+		{Time: 300, Dir: ServerToClient, ReqID: 7},
+		{Time: 900, Dir: ServerToClient, ReqID: 7},
+	}
+	rtts := ExtractRTTs(recs)
+	if len(rtts) != 1 || rtts[0].Duration != 800 {
+		t.Fatalf("rtts = %+v", rtts)
+	}
+}
+
+func TestExtractRTTsSkipsIncomplete(t *testing.T) {
+	recs := []Record{
+		{Time: 100, Dir: ClientToServer, ReqID: 1},
+		{Time: 200, Dir: ClientToServer, ReqID: 2},
+		{Time: 400, Dir: ServerToClient, ReqID: 2},
+		{Time: 50, Dir: ServerToClient, ReqID: 3}, // response w/o request
+	}
+	rtts := ExtractRTTs(recs)
+	if len(rtts) != 1 || rtts[0].ReqID != 2 {
+		t.Fatalf("rtts = %+v", rtts)
+	}
+}
+
+func TestExtractRTTsSortedByStart(t *testing.T) {
+	recs := []Record{
+		{Time: 500, Dir: ClientToServer, ReqID: 2},
+		{Time: 100, Dir: ClientToServer, ReqID: 1},
+		{Time: 600, Dir: ServerToClient, ReqID: 2},
+		{Time: 300, Dir: ServerToClient, ReqID: 1},
+	}
+	rtts := ExtractRTTs(recs)
+	if len(rtts) != 2 || rtts[0].ReqID != 1 || rtts[1].ReqID != 2 {
+		t.Fatalf("rtts not sorted by start: %+v", rtts)
+	}
+}
+
+func TestMeanRTT(t *testing.T) {
+	rtts := []RTT{{Duration: sim.Duration(100)}, {Duration: sim.Duration(300)}}
+	if got := MeanRTT(rtts); got != 200 {
+		t.Fatalf("mean = %v", got)
+	}
+	if MeanRTT(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	var b Buffer
+	b.Append(Record{ReqID: 1})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: 1000, Dir: ClientToServer, ReqID: 5, Bytes: 64}
+	s := r.String()
+	if !strings.Contains(s, "c->s") || !strings.Contains(s, "req=5") {
+		t.Fatalf("record string = %q", s)
+	}
+	if !strings.Contains((Record{Dir: ServerToClient}).String(), "s->c") {
+		t.Fatal("server direction string")
+	}
+}

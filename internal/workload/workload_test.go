@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kv3d/internal/sim"
+)
+
+func TestSizeSweep(t *testing.T) {
+	sizes := SizeSweep()
+	if len(sizes) != 15 {
+		t.Fatalf("sweep has %d points, want 15 (64B..1MB doubling)", len(sizes))
+	}
+	if sizes[0] != 64 || sizes[len(sizes)-1] != 1<<20 {
+		t.Fatalf("sweep endpoints: %d..%d", sizes[0], sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[i-1]*2 {
+			t.Fatal("sweep must double")
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(1.01, 0); err == nil {
+		t.Fatal("zero n accepted")
+	}
+	if _, err := NewZipf(0, 10); err == nil {
+		t.Fatal("zero skew accepted")
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	z, err := NewZipf(1.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(1)
+	counts := make(map[int]int)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	top10 := 0
+	for rank := 0; rank < 10; rank++ {
+		top10 += counts[rank]
+	}
+	if frac := float64(top10) / n; frac < 0.25 {
+		t.Fatalf("top-10 keys got %.1f%% of traffic, want heavy skew", frac*100)
+	}
+	if counts[0] < counts[100] {
+		t.Fatal("rank 0 must be hotter than rank 100")
+	}
+}
+
+func TestZipfSampleInRangeProperty(t *testing.T) {
+	z, _ := NewZipf(0.8, 100)
+	r := sim.NewRand(2)
+	f := func(uint8) bool {
+		v := z.Sample(r)
+		return v >= 0 && v < z.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(MixConfig{GetFraction: 1.5, Keys: 10}); err == nil {
+		t.Fatal("bad get fraction accepted")
+	}
+	if _, err := NewGenerator(MixConfig{GetFraction: 0.9, Keys: 0}); err == nil {
+		t.Fatal("zero keys accepted")
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	g, err := NewGenerator(MixConfig{GetFraction: 0.9, Keys: 1000, ZipfSkew: 1.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		if req.IsGet {
+			gets++
+		}
+		if req.Key == "" || req.ValueBytes <= 0 {
+			t.Fatalf("bad request %+v", req)
+		}
+	}
+	frac := float64(gets) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("get fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() *Generator {
+		g, _ := NewGenerator(MixConfig{GetFraction: 0.5, Keys: 100, Seed: 42})
+		return g
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatal("same seed must generate the same stream")
+		}
+	}
+}
+
+func TestGeneratorUniformWithoutSkew(t *testing.T) {
+	g, _ := NewGenerator(MixConfig{GetFraction: 1, Keys: 10, Seed: 3})
+	counts := map[string]int{}
+	for i := 0; i < 10_000; i++ {
+		counts[g.Next().Key]++
+	}
+	for k, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform key %s drawn %d times of 10000", k, c)
+		}
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	if FixedSize(128).Sample(nil) != 128 {
+		t.Fatal("fixed size")
+	}
+}
+
+func TestETCSizesShape(t *testing.T) {
+	r := sim.NewRand(5)
+	var small, large int
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		v := ETCSizes{}.Sample(r)
+		if v <= 0 || v > 1<<20 {
+			t.Fatalf("ETC size out of range: %d", v)
+		}
+		if v < 1024 {
+			small++
+		}
+		if v >= 64<<10 {
+			large++
+		}
+	}
+	if float64(small)/n < 0.6 {
+		t.Fatalf("ETC should be dominated by small values, got %.2f", float64(small)/n)
+	}
+	if large == 0 {
+		t.Fatal("ETC needs a heavy tail")
+	}
+}
+
+func TestMcDipperSizesShape(t *testing.T) {
+	r := sim.NewRand(6)
+	var sum int64
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		v := McDipperSizes{}.Sample(r)
+		if v < 8<<10 || v > 1<<20 {
+			t.Fatalf("photo size out of range: %d", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 20<<10 || mean > 200<<10 {
+		t.Fatalf("photo mean size = %d, want tens-to-hundreds of KB", mean)
+	}
+}

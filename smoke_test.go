@@ -1,0 +1,78 @@
+package kv3d
+
+// End-to-end smoke tests tying the two halves together: the functional
+// store served over TCP and the simulation regenerating a paper result,
+// in one process.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kv3d/internal/experiments"
+	"kv3d/internal/kvclient"
+	"kv3d/internal/kvserver"
+	"kv3d/internal/kvstore"
+)
+
+func TestSmokeFunctionalHalf(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := kvserver.New(st, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c, err := kvclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("smoke", []byte("test"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	it, err := c.Get("smoke")
+	if err != nil || string(it.Value) != "test" {
+		t.Fatalf("round trip: %v %q", err, it.Value)
+	}
+	if err := c.Delete("smoke"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("smoke"); !errors.Is(err, kvclient.ErrNotFound) {
+		t.Fatalf("expected miss, got %v", err)
+	}
+}
+
+func TestSmokeModelingHalf(t *testing.T) {
+	res, err := experiments.Run("table4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[1].String() // headline ratios
+	for _, want := range []string{"Density", "TPS/Watt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("headline table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeEveryExperimentRuns(t *testing.T) {
+	for _, id := range experiments.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := experiments.Run(id, experiments.Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s produced an empty table %q", id, tbl.Title)
+				}
+			}
+		})
+	}
+}
