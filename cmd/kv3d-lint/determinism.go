@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkDeterminism forbids wall-clock reads, sleeps and global-state
+// randomness in every package the simulation layer can reach. The
+// discrete-event kernel owns time (integer picoseconds) and randomness
+// (seeded sim.Rand streams); a single time.Now or math/rand call in
+// model code silently decouples reported RTT/TPS numbers from the seed,
+// which is exactly the failure mode the paper's calibration cannot
+// tolerate.
+
+// bannedTimeFuncs are the time-package functions that read or depend on
+// the host wall clock. Types (time.Duration) and constants (time.Second)
+// stay legal: they are units, not clock reads.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Sleep":     "blocks on host time",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Tick":      "creates a wall-clock ticker",
+	"After":     "creates a wall-clock timer",
+	"AfterFunc": "creates a wall-clock timer",
+	"NewTimer":  "creates a wall-clock timer",
+	"NewTicker": "creates a wall-clock ticker",
+}
+
+// bannedRandFuncs are the math/rand (v1 and v2) package-level functions
+// backed by the shared global source. Constructing an owned generator
+// (rand.New, rand.NewSource, ...) is allowed; the determinism contract
+// only bans the ambient one.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func checkDeterminism(a *analysis) []finding {
+	var out []finding
+	closure := a.simClosure()
+	for path, via := range closure {
+		pkg := a.pkgs[path]
+		reach := "a sim root"
+		if via != "" {
+			reach = fmt.Sprintf("imported via %s", via)
+		}
+		for _, pf := range pkg.files {
+			timeAliases, timeDot := importAliases(pf.ast, "time")
+			randAliases, randDot := importAliases(pf.ast, "math/rand", "math/rand/v2")
+			if timeDot || randDot {
+				out = append(out, finding{
+					pos:   a.fset.Position(pf.ast.Name.Pos()),
+					check: "determinism",
+					msg: fmt.Sprintf("package %s (%s) dot-imports a clock/rand package, hiding banned calls from analysis; use a named import",
+						path, reach),
+				})
+			}
+			if len(timeAliases) == 0 && len(randAliases) == 0 {
+				continue
+			}
+			ast.Inspect(pf.ast, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Obj != nil { // id.Obj != nil means a local, not the import
+					return true
+				}
+				if _, isTime := timeAliases[id.Name]; isTime {
+					if why, banned := bannedTimeFuncs[sel.Sel.Name]; banned {
+						out = append(out, finding{
+							pos:   a.fset.Position(sel.Pos()),
+							check: "determinism",
+							msg: fmt.Sprintf("%s.%s %s; package %s is in the sim-determinism set (%s) — use sim virtual time or an injected Clock",
+								id.Name, sel.Sel.Name, why, path, reach),
+						})
+					}
+				}
+				if _, isRand := randAliases[id.Name]; isRand {
+					if bannedRandFuncs[sel.Sel.Name] {
+						out = append(out, finding{
+							pos:   a.fset.Position(sel.Pos()),
+							check: "determinism",
+							msg: fmt.Sprintf("%s.%s uses the global math/rand source; package %s is in the sim-determinism set (%s) — use a seeded sim.Rand or an injected *rand.Rand",
+								id.Name, sel.Sel.Name, path, reach),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

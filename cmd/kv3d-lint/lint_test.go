@@ -1,0 +1,290 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway Go module and loads it through
+// the same path the CLI uses.
+func writeModule(t *testing.T, files map[string]string) *analysis {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fake\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return a
+}
+
+func msgs(fs []finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.check+": "+f.msg)
+	}
+	return out
+}
+
+func assertFindings(t *testing.T, fs []finding, want int, substrs ...string) {
+	t.Helper()
+	if len(fs) != want {
+		t.Fatalf("got %d findings, want %d:\n%s", len(fs), want, strings.Join(msgs(fs), "\n"))
+	}
+	for _, sub := range substrs {
+		found := false
+		for _, m := range msgs(fs) {
+			if strings.Contains(m, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q:\n%s", sub, strings.Join(msgs(fs), "\n"))
+		}
+	}
+}
+
+func TestDeterminismFlagsSimImportedPackages(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+import "fake/internal/model"
+var _ = model.Tick`,
+		"internal/model/model.go": `package model
+import (
+	"time"
+	"math/rand"
+)
+func Tick() int64 { return time.Now().Unix() }
+func Nap()        { time.Sleep(time.Second) }
+func Roll() int   { return rand.Intn(6) }
+func Owned() *rand.Rand { return rand.New(rand.NewSource(1)) }`,
+		// Allowlisted live-server package: wall clock is fine here.
+		"internal/kvserver/s.go": `package kvserver
+import "time"
+func Deadline() int64 { return time.Now().Unix() }`,
+		// Not reachable from any sim root: also fine.
+		"internal/tool/t.go": `package tool
+import "time"
+func Stamp() int64 { return time.Now().Unix() }`,
+	})
+	fs := checkDeterminism(a)
+	assertFindings(t, fs, 3, "time.Now reads the wall clock", "time.Sleep blocks on host time",
+		"rand.Intn uses the global math/rand source")
+	for _, f := range fs {
+		if !strings.Contains(f.pos.Filename, "model.go") {
+			t.Errorf("finding outside model.go: %s", f.pos)
+		}
+	}
+}
+
+func TestDeterminismAllowsOwnedRandAndDurations(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+import (
+	"math/rand"
+	"time"
+)
+const step = 5 * time.Millisecond // unit constants are not clock reads
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`,
+	})
+	assertFindings(t, checkDeterminism(a), 0)
+}
+
+func TestNolintSuppressionRequiresReason(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+import "time"
+func A() int64 { return time.Now().Unix() } //nolint:kv3d // test fixture: sanctioned wall-clock read
+func B() int64 { return time.Now().Unix() } //nolint:kv3d
+func C() int64 { return time.Now().Unix() }`,
+	})
+	fs := applyNolint(a, checkDeterminism(a))
+	// A is suppressed; B keeps its finding plus a missing-reason finding;
+	// C keeps its finding.
+	assertFindings(t, fs, 3, "nolint:kv3d requires a reason")
+	for _, f := range fs {
+		if f.pos.Line == 3 {
+			t.Errorf("line 3 should be suppressed: %s", f.msg)
+		}
+	}
+}
+
+func TestLockCheckPositionConvention(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type Counter struct {
+	name string
+
+	mu sync.Mutex
+	n  int
+}
+
+// Bad reads n without the lock.
+func (c *Counter) Bad() int { return c.n }
+
+// Good locks first.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Name is unguarded (different paragraph).
+func (c *Counter) Name() string { return c.name }
+
+// internal helpers may rely on callers holding the lock.
+func (c *Counter) peek() int { return c.n }`,
+	})
+	assertFindings(t, checkLocks(a), 1, "Counter.Bad accesses c.n (guarded by mu)")
+}
+
+func TestLockCheckCommentConvention(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type Gauge struct {
+	statsMu sync.Mutex
+
+	level int // guarded by statsMu
+}
+
+func (g *Gauge) Level() int { return g.level }
+
+func (g *Gauge) SafeLevel() int {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
+	return g.level
+}`,
+	})
+	assertFindings(t, checkLocks(a), 1, "Gauge.Level accesses g.level (guarded by statsMu)")
+}
+
+func TestLockCheckRWMutexRLockCounts(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type Ring struct {
+	mu     sync.RWMutex
+	points []int
+}
+
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.points)
+}`,
+	})
+	assertFindings(t, checkLocks(a), 0)
+}
+
+func TestUnitsMixedSuffixes(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+
+func f(latencyNs, wirePs, coreCycles int64) int64 {
+	bad := latencyNs + wirePs
+	if coreCycles > latencyNs {
+		bad++
+	}
+	bad -= 0
+	good := latencyNs + psToNs(wirePs) // conversion call silences
+	scale := coreCycles * wirePs       // multiplication is the conversion idiom
+	ops := latencyNs + latencyNs       // same unit
+	tps := ops + 1                     // lowercase plural is not a unit
+	return bad + good + scale + tps
+}
+
+func psToNs(ps int64) int64 { return ps / 1000 }`,
+	})
+	assertFindings(t, checkUnits(a), 2,
+		"mixes Ns and Ps identifiers", "mixes Cycles and Ns identifiers")
+}
+
+func TestUnitsAssignOps(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+
+func f(totalPs, stepNs int64) int64 {
+	totalPs += stepNs
+	return totalPs
+}`,
+	})
+	assertFindings(t, checkUnits(a), 1, "mixes Ps and Ns identifiers")
+}
+
+func TestPurityLoopCaptureAndGlobalWrite(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+type Sim struct{}
+func (s *Sim) After(d int64, fn func()) {}
+
+var totalDrops int
+
+func Run(s *Sim, names []string) {
+	for i, name := range names {
+		s.After(1, func() {
+			_ = i        // loop-var capture
+			_ = name     // loop-var capture
+			totalDrops++ // package-level mutation
+		})
+	}
+	count := 0
+	for j := 0; j < 3; j++ {
+		jj := j
+		s.After(1, func() {
+			_ = jj  // explicit copy: fine
+			count++ // local capture: fine
+		})
+	}
+}`,
+	})
+	assertFindings(t, checkPurity(a), 3,
+		`captures loop variable "i"`, `captures loop variable "name"`,
+		`mutates package-level state "totalDrops"`)
+}
+
+func TestPurityOutsideSimSetIgnored(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/tool/t.go": `package tool
+
+type Q struct{}
+func (q *Q) After(d int64, fn func()) {}
+
+var n int
+
+func Run(q *Q) {
+	for i := 0; i < 3; i++ {
+		q.After(1, func() { n += i })
+	}
+}`,
+	})
+	assertFindings(t, checkPurity(a), 0)
+}
+
+func TestModulePatternExpansion(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/a.go":         `package pkg`,
+		"pkg/sub/b.go":     `package sub`,
+		"testdata/skip.go": `package skip`,
+	})
+	if len(a.pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2 (testdata skipped): %v", len(a.pkgs), a.pkgs)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// checkUnits flags arithmetic and comparisons that mix identifiers whose
+// suffixes declare conflicting time units. The repo's convention writes
+// the unit into the name — `...Ns` (nanoseconds), `...Ps` (picoseconds,
+// the sim kernel's base unit), `...Cycles` (core clock cycles) — so
+// `latencyNs + transferPs` is almost always a missing conversion. An
+// explicit conversion call on either side (any CallExpr operand, e.g.
+// `psFromNs(latencyNs) + transferPs`) silences the check because the
+// call boundary is where the unit change is made visible.
+
+// unitSuffixes are matched case-sensitively so plural English words
+// ("ops", "tps", "returns") never register as units.
+var unitSuffixes = []string{"Cycles", "Ns", "Ps"}
+
+// unitOf returns the unit suffix an identifier name declares, or "".
+func unitOf(name string) string {
+	for _, s := range unitSuffixes {
+		if name == s {
+			return s
+		}
+		if strings.HasSuffix(name, s) {
+			prev := rune(name[len(name)-len(s)-1])
+			// Require a lower-case letter or digit before the suffix so
+			// the suffix is a distinct trailing word (latencyNs, rowCycles)
+			// rather than a substring of a longer capitalized word.
+			if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// operandUnit extracts the unit of one side of a binary expression.
+// Calls (conversions) and literals deliberately report no unit.
+func operandUnit(e ast.Expr) (string, string) {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return operandUnit(v.X)
+	case *ast.UnaryExpr:
+		return operandUnit(v.X)
+	case *ast.Ident:
+		return unitOf(v.Name), v.Name
+	case *ast.SelectorExpr:
+		return unitOf(v.Sel.Name), v.Sel.Name
+	}
+	return "", ""
+}
+
+// mixableOps are the operators where mixing units is meaningless.
+// Multiplication and division are excluded: `cycles * psPerCycle` is the
+// conversion idiom itself.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+func checkUnits(a *analysis) []finding {
+	var out []finding
+	report := func(pos token.Pos, op token.Token, ua, na, ub, nb string) {
+		out = append(out, finding{
+			pos:   a.fset.Position(pos),
+			check: "units",
+			msg: fmt.Sprintf("`%s %s %s` mixes %s and %s identifiers without an explicit conversion call",
+				na, op, nb, ua, ub),
+		})
+	}
+	for _, pkg := range a.pkgs {
+		for _, pf := range pkg.files {
+			ast.Inspect(pf.ast, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.BinaryExpr:
+					if !mixableOps[v.Op] {
+						return true
+					}
+					ua, na := operandUnit(v.X)
+					ub, nb := operandUnit(v.Y)
+					if ua != "" && ub != "" && ua != ub {
+						report(v.OpPos, v.Op, ua, na, ub, nb)
+					}
+				case *ast.AssignStmt:
+					if !mixableOps[v.Tok] || len(v.Lhs) != 1 || len(v.Rhs) != 1 {
+						return true
+					}
+					ua, na := operandUnit(v.Lhs[0])
+					ub, nb := operandUnit(v.Rhs[0])
+					if ua != "" && ub != "" && ua != ub {
+						report(v.TokPos, v.Tok, ua, na, ub, nb)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -64,6 +64,13 @@ func runFillOnMiss(pol kvstore.EvictionPolicy, memBytes, valueSize int64, keys i
 	cfg := kvstore.DefaultConfig(memBytes)
 	cfg.Mode = kvstore.ModeGlobal
 	cfg.Policy = pol
+	// A logical clock (one tick per store call) replaces the wall-clock
+	// default: Bags second-chance decisions compare item access stamps
+	// against bag creation eras, so hit rates would otherwise depend on
+	// which host second each request happened to land in, and the table
+	// would drift run-to-run.
+	var tick int64
+	cfg.Clock = func() int64 { tick++; return tick }
 	st, err := kvstore.New(cfg)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,12 @@
+package kvstore
+
+import "time"
+
+// WallClock is the real-time Clock used by the live server path when a
+// Config does not inject one. Simulation and experiment code must never
+// rely on this default: the determinism contract (see LINTING.md)
+// requires sim-driven stores to inject a virtual clock so eviction and
+// expiry decisions replay identically for a given seed.
+func WallClock() int64 {
+	return time.Now().Unix() //nolint:kv3d // the one sanctioned wall-clock read: live-server default; sims inject Config.Clock
+}

@@ -1,0 +1,91 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestUptimeFollowsInjectedClock is the regression test for the wall
+// clock that used to hide inside Stats(): uptime was computed with
+// time.Since(start), so a store driven by a virtual clock still reported
+// host-time uptime. It must follow the injected Clock exclusively.
+func TestUptimeFollowsInjectedClock(t *testing.T) {
+	now := int64(1_000)
+	cfg := DefaultConfig(16 << 20)
+	cfg.Clock = func() int64 { return now }
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up := st.Stats().UptimeSeconds; up != 0 {
+		t.Fatalf("uptime at birth = %d, want 0", up)
+	}
+	now = 1_042
+	if up := st.Stats().UptimeSeconds; up != 42 {
+		t.Fatalf("uptime = %d, want 42", up)
+	}
+}
+
+// TestWallClockDefault checks that a nil Clock still yields a working
+// store on the live-server path.
+func TestWallClockDefault(t *testing.T) {
+	st, err := New(DefaultConfig(16 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Config().Clock == nil {
+		t.Fatal("nil Clock not defaulted")
+	}
+	if err := st.Set("k", []byte("v"), 0, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k"); !ok {
+		t.Fatal("relative expiry against the wall clock lost the key")
+	}
+	if up := st.Stats().UptimeSeconds; up < 0 || up > 5 {
+		t.Fatalf("implausible uptime %d for a fresh store", up)
+	}
+}
+
+// TestBagsSecondChanceDeterministicUnderLogicalClock pins the property
+// the eviction experiment depends on: with a logical clock, identical
+// request streams against identical Bags-policy stores evict identically
+// (byte-identical stats), independent of host timing.
+func TestBagsSecondChanceDeterministicUnderLogicalClock(t *testing.T) {
+	run := func() Stats {
+		cfg := DefaultConfig(1 << 20)
+		cfg.Mode = ModeGlobal
+		cfg.Policy = PolicyBags
+		var tick int64
+		cfg.Clock = func() int64 { tick++; return tick }
+		st, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		value := make([]byte, 4096)
+		// Deterministic skewed stream: 4 of 5 requests hit 50 hot keys
+		// (earning second chances), the rest sweep 1000 cold keys so the
+		// 1MB budget keeps evicting.
+		for i := 0; i < 6_000; i++ {
+			var key string
+			if i%5 != 0 {
+				key = fmt.Sprintf("hot-%03d", i%50)
+			} else {
+				key = fmt.Sprintf("cold-%04d", (i/5)%1000)
+			}
+			if _, ok := st.Get(key); !ok {
+				if err := st.Set(key, value, 0, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return st.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("bags eviction not deterministic:\nrun 1: %+v\nrun 2: %+v", a, b)
+	}
+	if a.Evictions == 0 {
+		t.Fatal("scenario never evicted; it does not exercise second-chance logic")
+	}
+}

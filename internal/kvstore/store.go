@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // ConcurrencyMode selects the locking design of a Store.
@@ -54,7 +53,8 @@ type Config struct {
 	BaseChunkSize int
 	GrowthFactor  float64
 	SlabPageSize  int
-	// Clock supplies unix seconds; defaults to time.Now().Unix.
+	// Clock supplies unix seconds; defaults to WallClock. Simulations
+	// and experiments must inject a deterministic clock (LINTING.md).
 	Clock Clock
 }
 
@@ -81,12 +81,12 @@ func (c *casCounter) next() uint64 { return c.n.Add(1) }
 
 // Store is the concurrent, memcached-compatible key-value store.
 type Store struct {
-	cfg    Config
-	shards []*lockedShard
-	mask   uint64
-	clock  Clock
-	cas    casCounter
-	start  time.Time
+	cfg       Config
+	shards    []*lockedShard
+	mask      uint64
+	clock     Clock
+	cas       casCounter
+	startUnix int64
 }
 
 type lockedShard struct {
@@ -112,7 +112,7 @@ func New(cfg Config) (*Store, error) {
 		cfg.SlabPageSize = DefaultSlabPageSize
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = func() int64 { return time.Now().Unix() }
+		cfg.Clock = WallClock
 	}
 	nShards := 1
 	if cfg.Mode == ModeStriped {
@@ -137,7 +137,7 @@ func New(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("kvstore: max item size %d exceeds slab page size %d", cfg.MaxItemSize, cfg.SlabPageSize)
 	}
 
-	st := &Store{cfg: cfg, mask: uint64(nShards - 1), clock: cfg.Clock, start: time.Now()}
+	st := &Store{cfg: cfg, mask: uint64(nShards - 1), clock: cfg.Clock, startUnix: cfg.Clock()}
 	for i := 0; i < nShards; i++ {
 		alloc, err := newSlabAllocator(cfg.BaseChunkSize, cfg.GrowthFactor, cfg.SlabPageSize, perShard)
 		if err != nil {
@@ -364,7 +364,7 @@ func (st *Store) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	out.Shards = len(st.shards)
-	out.UptimeSeconds = int64(time.Since(st.start).Seconds())
+	out.UptimeSeconds = st.clock() - st.startUnix
 	return out
 }
 

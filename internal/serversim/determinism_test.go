@@ -1,0 +1,64 @@
+package serversim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// renderResult formats every field of a Result, including the full
+// latency summary, so two runs can be compared byte-for-byte. %#v keeps
+// exact float bit patterns visible (no rounding that could mask drift).
+func renderResult(r Result) string {
+	return fmt.Sprintf("%#v", r)
+}
+
+// TestRunByteIdenticalForSameSeed is the determinism contract for the
+// open-loop server simulation: the same Config (same seed) must produce
+// byte-identical RTT/TPS output. This is what kv3d-lint's determinism
+// check protects — one time.Now or global-rand call anywhere under
+// internal/serversim breaks this test.
+func TestRunByteIdenticalForSameSeed(t *testing.T) {
+	cfg := mercuryBox(4, 4)
+	nominal, err := NominalTPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OfferedTPS = nominal * 0.6
+	cfg.ZipfSkew = 0.99 // exercise the Zipf sampler's stream too
+	cfg.Keys = 10_000
+
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := renderResult(a), renderResult(b); ra != rb {
+		t.Fatalf("same seed, different output:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", ra, rb)
+	}
+}
+
+// TestRunSeedActuallyDrivesOutcome guards against the degenerate way to
+// pass the test above (ignoring the seed entirely): different seeds must
+// produce different arrival streams and therefore different latency
+// samples.
+func TestRunSeedActuallyDrivesOutcome(t *testing.T) {
+	cfg := mercuryBox(4, 4)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 0.6
+
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 424242
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(a) == renderResult(b) {
+		t.Fatal("different seeds produced identical output; the seed is being ignored")
+	}
+}
