@@ -17,6 +17,8 @@ import (
 	"kv3d/internal/experiments"
 	"kv3d/internal/kvstore"
 	"kv3d/internal/memmodel"
+	"kv3d/internal/obs"
+	"kv3d/internal/serversim"
 	"kv3d/internal/sim"
 	"kv3d/internal/stackmodel"
 	"kv3d/internal/workload"
@@ -293,3 +295,40 @@ func BenchmarkDiurnal(b *testing.B) { benchExperiment(b, "diurnal") }
 
 // BenchmarkDRAMSim regenerates the bank-level DRAM validation.
 func BenchmarkDRAMSim(b *testing.B) { benchExperiment(b, "dramsim") }
+
+// --- observability overhead (kv3d-obs) ----------------------------------
+
+func benchServersimTraced(b *testing.B, traced bool) {
+	b.Helper()
+	cfg := serversim.Config{
+		Stack: stackmodel.Config{
+			Core: cpu.CortexA7(), Cache: cache.L2MB2(),
+			Mem: memmodel.MustDRAM3D(10 * sim.Nanosecond), CoresPerStack: 8,
+		},
+		Stacks:     4,
+		Op:         stackmodel.Get,
+		ValueBytes: 64,
+		OfferedTPS: 200_000,
+		Duration:   10 * sim.Millisecond,
+		Seed:       11,
+	}
+	for i := 0; i < b.N; i++ {
+		if traced {
+			cfg.Trace = obs.NewTracer()
+		}
+		if _, err := serversim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerDisabled is the baseline: a serversim run with a nil
+// tracer, exercising the nil-check fast path on every event. Compare
+// against BenchmarkTracerEnabled to see the cost tracing adds, and
+// against historical numbers of this benchmark to prove the
+// instrumentation hooks cost ~nothing when disabled.
+func BenchmarkTracerDisabled(b *testing.B) { benchServersimTraced(b, false) }
+
+// BenchmarkTracerEnabled runs the same experiment with a live tracer
+// recording request, queue/service and sampler events.
+func BenchmarkTracerEnabled(b *testing.B) { benchServersimTraced(b, true) }

@@ -22,6 +22,8 @@ func main() {
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "render tables as JSON instead of ASCII")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON recording of the event-level run (loadlatency) to this file")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +37,7 @@ func main() {
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, TracePath: *tracePath}
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(strings.TrimSpace(id), opts)
@@ -44,7 +46,14 @@ func main() {
 			os.Exit(1)
 		}
 		for _, t := range res.Tables {
-			t.Render(os.Stdout)
+			if *jsonOut {
+				if err := t.RenderJSON(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "kv3d-bench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				t.Render(os.Stdout)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", res.ID, time.Since(start).Round(time.Millisecond))
 	}

@@ -11,12 +11,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"kv3d/internal/cpu"
 	"kv3d/internal/memmodel"
+	"kv3d/internal/obs"
 	"kv3d/internal/report"
 	"kv3d/internal/server"
+	"kv3d/internal/serversim"
 	"kv3d/internal/sim"
+	"kv3d/internal/stackmodel"
 )
 
 func main() {
@@ -25,6 +29,12 @@ func main() {
 	mem := flag.String("mem", "dram", "memory: dram (Mercury) or flash (Iridium)")
 	dramNS := flag.Int("dram-ns", 10, "DRAM closed-page latency in ns")
 	flashUS := flag.Int("flash-us", 10, "Flash read latency in us")
+	jsonOut := flag.Bool("json", false, "emit the evaluation and event-level counters as JSON probes instead of a table")
+	tracePath := flag.String("trace", "", "record the event-level validation run as Chrome trace-event JSON at this path")
+	simStacks := flag.Int("sim-stacks", 8, "stacks in the scaled-down event-level validation run (-json/-trace)")
+	simLoad := flag.Float64("sim-load", 0.85, "offered load as a fraction of nominal TPS in the validation run")
+	simFor := flag.Duration("sim-duration", 20*time.Millisecond, "simulated time span of the validation run")
+	seed := flag.Uint64("seed", 42, "validation run arrival/key seed")
 	flag.Parse()
 
 	var core cpu.Core
@@ -80,5 +90,78 @@ func main() {
 	t.AddRow("TPS/GB", report.SI(e.TPSPerGB()))
 	t.AddRow("Mean RTT @64B", e.MeanRTT64B.String())
 	t.AddRow("Requests <1ms", fmt.Sprintf("%.1f%%", e.SubMsFraction64B*100))
+
+	// -json and -trace both need the event-level run: a scaled-down
+	// open-loop serversim at the design point, instrumented with the
+	// same probe registry the metrics endpoint naming scheme maps onto.
+	var probes []obs.Probe
+	if *jsonOut || *tracePath != "" {
+		reg := obs.NewRegistry()
+		var tr *obs.Tracer
+		if *tracePath != "" {
+			tr = obs.NewTracer()
+		}
+		cfg := serversim.Config{
+			Stack:      stackCfg(d),
+			Stacks:     *simStacks,
+			Op:         stackmodel.Get,
+			ValueBytes: 64,
+			Duration:   sim.Duration(simFor.Nanoseconds()) * sim.Nanosecond,
+			Seed:       *seed,
+			Trace:      tr,
+			Probes:     reg,
+		}
+		nominal, err := serversim.NominalTPS(cfg)
+		if err != nil {
+			log.Fatalf("kv3d-explore: %v", err)
+		}
+		cfg.OfferedTPS = nominal * *simLoad
+		if _, err := serversim.Run(cfg); err != nil {
+			log.Fatalf("kv3d-explore: %v", err)
+		}
+		if tr != nil {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatalf("kv3d-explore: %v", err)
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatalf("kv3d-explore: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("kv3d-explore: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "kv3d-explore: trace written to %s (load it in Perfetto / chrome://tracing)\n", *tracePath)
+		}
+		probes = append(reg.Snapshot(),
+			obs.Probe{Name: "explore.server.stacks", Value: float64(e.Stacks)},
+			obs.Probe{Name: "explore.server.cores", Value: float64(e.Cores)},
+			obs.Probe{Name: "explore.server.density_bytes", Value: float64(e.DensityBytes)},
+			obs.Probe{Name: "explore.server.area_cm2", Value: e.AreaCM2},
+			obs.Probe{Name: "explore.server.power_max_w", Value: e.PowerMaxW},
+			obs.Probe{Name: "explore.server.power_64b_w", Value: e.Power64BW},
+			obs.Probe{Name: "explore.server.max_bw_bytes_per_sec", Value: e.MaxBWBytesPerSec},
+			obs.Probe{Name: "explore.server.tps_64b", Value: e.TPS64B},
+			obs.Probe{Name: "explore.server.mean_rtt_64b_ns", Value: float64(e.MeanRTT64B) / float64(sim.Nanosecond)},
+			obs.Probe{Name: "explore.server.sub_ms_fraction_64b", Value: e.SubMsFraction64B},
+		)
+	}
+	if *jsonOut {
+		if err := obs.WriteProbesJSON(os.Stdout, probes); err != nil {
+			log.Fatalf("kv3d-explore: %v", err)
+		}
+		return
+	}
 	t.Render(os.Stdout)
+}
+
+// stackCfg lifts a physical design into the stack-level simulator
+// configuration the validation run needs.
+func stackCfg(d server.Design) stackmodel.Config {
+	return stackmodel.Config{
+		Core:          d.Core,
+		Cache:         d.Cache,
+		Mem:           d.Mem,
+		CoresPerStack: d.CoresPerStack,
+	}
 }

@@ -25,6 +25,10 @@ import (
 // executed later by the event queue.
 var callbackSinks = map[string]bool{
 	"At": true, "After": true, "Schedule": true, "Acquire": true,
+	// AcquireInfo is Acquire with a timed completion callback (PR 2's
+	// observability layer); its func literal runs off the event queue
+	// exactly like Acquire's.
+	"AcquireInfo": true,
 }
 
 func checkPurity(a *analysis) []finding {

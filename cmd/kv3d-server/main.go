@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -51,6 +53,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "close idle connections after this long (0 = never)")
 	crawlEvery := flag.Duration("crawl-interval", 0, "background expiry sweep interval (0 = disabled)")
 	udpAddr := flag.String("udp", "", "also serve the UDP protocol on this address (e.g. :11211)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (e.g. :9190)")
 	flag.Parse()
 
 	limit, err := parseSize(*memory)
@@ -99,6 +102,21 @@ func main() {
 		}
 		defer udp.Close()
 		log.Printf("kv3d-server: udp on %s", udp.Addr())
+	}
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("kv3d-server: metrics: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("kv3d-server: metrics server: %v", err)
+			}
+		}()
+		defer mln.Close()
+		log.Printf("kv3d-server: metrics on http://%s/metrics", mln.Addr())
 	}
 	log.Printf("kv3d-server: listening on %s (%s, %s, %s, %d shards)",
 		srv.Addr(), *memory, *policy, *mode, store.Config().Shards)

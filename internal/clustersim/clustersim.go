@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kv3d/internal/cluster"
+	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 	"kv3d/internal/workload"
 )
@@ -29,6 +30,18 @@ type Config struct {
 	Requests int
 	// Seed makes the run reproducible.
 	Seed uint64
+
+	// Trace, when non-nil, records per-stack cumulative request counts
+	// as counter tracks. The experiment has no simulated clock, so the
+	// time axis is the request index (1 request = 1us in the viewer):
+	// a diverging counter lane is a hot stack forming.
+	Trace *obs.Tracer
+	// Probes, when non-nil, receives "clustersim.<stack>.requests"
+	// counters plus "clustersim.requests" for the total.
+	Probes *obs.Registry
+	// SampleEveryRequests is the counter-sampling stride (default:
+	// Requests/100, at least 1).
+	SampleEveryRequests int
 }
 
 // Result reports the distribution outcome.
@@ -57,8 +70,14 @@ func Run(cfg Config) (Result, error) {
 		cfg.Keys = 100_000
 	}
 	ring := cluster.NewRing(cfg.VirtualNodes)
+	names := make([]string, cfg.Stacks)
+	tracks := map[string]obs.TrackID{}
 	for i := 0; i < cfg.Stacks; i++ {
-		ring.Add(fmt.Sprintf("stack-%02d", i))
+		names[i] = fmt.Sprintf("stack-%02d", i)
+		ring.Add(names[i])
+		if cfg.Trace.Enabled() {
+			tracks[names[i]] = cfg.Trace.RegisterTrack(names[i])
+		}
 	}
 	gen, err := workload.NewGenerator(workload.MixConfig{
 		GetFraction: 1.0,
@@ -69,6 +88,13 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	stride := cfg.SampleEveryRequests
+	if stride <= 0 {
+		stride = cfg.Requests / 100
+		if stride < 1 {
+			stride = 1
+		}
+	}
 	perStack := make(map[string]int, cfg.Stacks)
 	for i := 0; i < cfg.Requests; i++ {
 		req := gen.Next()
@@ -77,6 +103,19 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		perStack[node]++
+		if cfg.Trace.Enabled() && (i+1)%stride == 0 {
+			ts := sim.Time(i+1) * sim.Time(sim.Microsecond)
+			for _, name := range names {
+				cfg.Trace.Counter(tracks[name], "clustersim."+name+".requests",
+					ts, float64(perStack[name]))
+			}
+		}
+	}
+	if cfg.Probes != nil {
+		cfg.Probes.Counter("clustersim.requests").Add(int64(cfg.Requests))
+		for _, name := range names {
+			cfg.Probes.Counter("clustersim." + name + ".requests").Add(int64(perStack[name]))
+		}
 	}
 	maxLoad := 0
 	for _, n := range perStack {

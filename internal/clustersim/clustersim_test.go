@@ -1,7 +1,11 @@
 package clustersim
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
+
+	"kv3d/internal/obs"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -86,5 +90,49 @@ func TestHotKeyBound(t *testing.T) {
 	}
 	if _, err := HotKeyBound(0, 10, 4); err == nil {
 		t.Fatal("invalid skew accepted")
+	}
+}
+
+func TestProbesAndTraceWiring(t *testing.T) {
+	cfg := Config{
+		Stacks:   4,
+		Keys:     1000,
+		Requests: 500,
+		Seed:     3,
+		Trace:    obs.NewTracer(),
+		Probes:   obs.NewRegistry(),
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range cfg.Probes.Snapshot() {
+		byName[p.Name] = p.Value
+	}
+	if byName["clustersim.requests"] != float64(cfg.Requests) {
+		t.Fatalf("total probe = %v", byName["clustersim.requests"])
+	}
+	var sum float64
+	for name, n := range r.PerStack {
+		if byName["clustersim."+name+".requests"] != float64(n) {
+			t.Fatalf("probe for %s = %v, want %d", name, byName["clustersim."+name+".requests"], n)
+		}
+		sum += float64(n)
+	}
+	if sum != float64(cfg.Requests) {
+		t.Fatalf("per-stack probes sum to %v", sum)
+	}
+	// Default stride is Requests/100: each of the 4 stacks gets 100
+	// counter samples.
+	if got := cfg.Trace.Len(); got != 400 {
+		t.Fatalf("trace has %d counter events, want 400", got)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("clustersim trace is not valid JSON")
 	}
 }

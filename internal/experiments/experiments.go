@@ -16,6 +16,11 @@ type Options struct {
 	// Quick trims sweeps (fewer sizes, fewer requests) for CI and unit
 	// tests; the full runs are the kv3d-bench defaults.
 	Quick bool
+	// TracePath, when non-empty, asks experiments that drive the
+	// event-level simulator (currently loadlatency) to record one
+	// representative run as Chrome trace-event JSON at this path.
+	// Experiments without an event-level run ignore it.
+	TracePath string
 }
 
 // Result is one regenerated experiment.

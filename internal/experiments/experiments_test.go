@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -240,5 +243,31 @@ func TestLoadLatencyShape(t *testing.T) {
 	first, last := rows[0], rows[len(rows)-1]
 	if first[3] == last[3] {
 		t.Fatalf("p99 should grow with load: %s vs %s", first[3], last[3])
+	}
+}
+
+func TestLoadLatencyTracePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event-level run")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := Run("loadlatency", Options{Quick: true, TracePath: path}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !json.Valid(b) {
+		t.Fatal("trace is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
 	}
 }

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 
 	"kv3d/internal/cache"
 	"kv3d/internal/cpu"
 	"kv3d/internal/memmodel"
+	"kv3d/internal/obs"
 	"kv3d/internal/report"
 	"kv3d/internal/serversim"
 	"kv3d/internal/sim"
@@ -66,9 +68,21 @@ func LoadLatency(o Options) (Result, error) {
 			cfg := base
 			cfg.ZipfSkew = skew
 			cfg.OfferedTPS = nominal * frac
+			// Record the representative loaded-but-stable point (85%
+			// offered, uniform keys) when tracing was requested.
+			var tr *obs.Tracer
+			if o.TracePath != "" && skew == 0 && frac == 0.85 {
+				tr = obs.NewTracer()
+				cfg.Trace = tr
+			}
 			r, err := serversim.Run(cfg)
 			if err != nil {
 				return Result{}, err
+			}
+			if tr != nil {
+				if err := writeTrace(o.TracePath, tr); err != nil {
+					return Result{}, err
+				}
 			}
 			t.AddRow(fmt.Sprintf("%.0f", frac*100),
 				fmt.Sprintf("%.2f", r.CompletedTPS/1e6),
@@ -80,4 +94,17 @@ func LoadLatency(o Options) (Result, error) {
 		tables = append(tables, t)
 	}
 	return Result{ID: "loadlatency", Title: "Open-loop load vs latency", Tables: tables}, nil
+}
+
+// writeTrace dumps a recorded tracer to path as trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

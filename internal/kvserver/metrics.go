@@ -1,0 +1,131 @@
+package kvserver
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"kv3d/internal/metrics"
+	"kv3d/internal/obs"
+	"kv3d/internal/protocol"
+)
+
+// OpMetrics aggregates per-operation-class latency histograms across
+// all connections (TCP ASCII, TCP binary, UDP). It implements
+// protocol.Observer; sessions call ObserveOp from their connection
+// goroutines, so the histograms sit behind a mutex.
+type OpMetrics struct {
+	mu    sync.Mutex
+	hists [protocol.NumOpClasses]*metrics.Histogram
+}
+
+// NewOpMetrics allocates histograms for every operation class.
+func NewOpMetrics() *OpMetrics {
+	m := &OpMetrics{}
+	for i := range m.hists {
+		m.hists[i] = metrics.NewHistogram()
+	}
+	return m
+}
+
+// ObserveOp records one command's handling time in nanoseconds.
+func (m *OpMetrics) ObserveOp(c protocol.OpClass, nanos int64) {
+	if c < 0 || c >= protocol.NumOpClasses {
+		c = protocol.ClassOther
+	}
+	m.mu.Lock()
+	m.hists[c].Record(nanos)
+	m.mu.Unlock()
+}
+
+// Summary snapshots one class's histogram.
+func (m *OpMetrics) Summary(c protocol.OpClass) metrics.Summary {
+	if c < 0 || c >= protocol.NumOpClasses {
+		c = protocol.ClassOther
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hists[c].Summarize()
+}
+
+// Probes exports per-class latency summaries under the obs naming
+// scheme (live.op.<class>.latency_ns.*). Classes with no recorded
+// operations are skipped so the endpoint stays compact.
+func (m *OpMetrics) Probes() []obs.Probe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var probes []obs.Probe
+	for c := protocol.OpClass(0); c < protocol.NumOpClasses; c++ {
+		s := m.hists[c].Summarize()
+		if s.Count == 0 {
+			continue
+		}
+		probes = append(probes,
+			obs.SummaryProbes("live.op."+c.String()+".latency_ns", s)...)
+	}
+	return probes
+}
+
+// Probes snapshots the server's live counters — store statistics, slab
+// class occupancy, connection accounting, and per-op latency summaries
+// — under the same dotted naming scheme the simulator's probe registry
+// uses. The slice is sorted by name so the metrics endpoint renders
+// deterministically for a given state.
+func (s *Server) Probes() []obs.Probe {
+	st := s.store.Stats()
+	probes := []obs.Probe{
+		{Name: "live.server.conns_accepted", Value: float64(s.Accepted())},
+		{Name: "live.server.conns_rejected", Value: float64(s.Rejected())},
+		{Name: "live.server.conns_active", Value: float64(s.Active())},
+		{Name: "live.store.get_hits", Value: float64(st.GetHits)},
+		{Name: "live.store.get_misses", Value: float64(st.GetMisses)},
+		{Name: "live.store.sets", Value: float64(st.Sets)},
+		{Name: "live.store.delete_hits", Value: float64(st.DeleteHits)},
+		{Name: "live.store.delete_misses", Value: float64(st.DeleteMisses)},
+		{Name: "live.store.cas_hits", Value: float64(st.CasHits)},
+		{Name: "live.store.cas_misses", Value: float64(st.CasMisses)},
+		{Name: "live.store.cas_badval", Value: float64(st.CasBadval)},
+		{Name: "live.store.incr_hits", Value: float64(st.IncrHits)},
+		{Name: "live.store.incr_misses", Value: float64(st.IncrMisses)},
+		{Name: "live.store.decr_hits", Value: float64(st.DecrHits)},
+		{Name: "live.store.decr_misses", Value: float64(st.DecrMisses)},
+		{Name: "live.store.touch_hits", Value: float64(st.TouchHits)},
+		{Name: "live.store.touch_misses", Value: float64(st.TouchMisses)},
+		{Name: "live.store.evictions", Value: float64(st.Evictions)},
+		{Name: "live.store.expired", Value: float64(st.Expired)},
+		{Name: "live.store.slab_reassigns", Value: float64(st.SlabReassigns)},
+		{Name: "live.store.total_items", Value: float64(st.TotalItems)},
+		{Name: "live.store.curr_items", Value: float64(st.CurrItems)},
+		{Name: "live.store.bytes_used", Value: float64(st.BytesUsed)},
+		{Name: "live.store.slab_bytes", Value: float64(st.SlabBytes)},
+		{Name: "live.store.hit_rate", Value: st.HitRate()},
+	}
+	for _, c := range s.store.SlabStats() {
+		prefix := fmt.Sprintf("live.slab.class-%02d.", c.ClassID)
+		probes = append(probes,
+			obs.Probe{Name: prefix + "chunk_size", Value: float64(c.ChunkSize)},
+			obs.Probe{Name: prefix + "pages", Value: float64(c.Pages)},
+			obs.Probe{Name: prefix + "used_chunks", Value: float64(c.UsedChunks)},
+			obs.Probe{Name: prefix + "free_chunks", Value: float64(c.FreeChunks)},
+		)
+	}
+	probes = append(probes, s.ops.Probes()...)
+	sort.Slice(probes, func(i, j int) bool { return probes[i].Name < probes[j].Name })
+	return probes
+}
+
+// OpMetrics exposes the per-op latency aggregator (for tests and
+// tools that want summaries rather than the rendered endpoint).
+func (s *Server) OpMetrics() *OpMetrics { return s.ops }
+
+// MetricsHandler serves the server's probes in Prometheus text
+// exposition format. Mount it on any mux, e.g.
+//
+//	http.Handle("/metrics", srv.MetricsHandler())
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.Probes())
+	})
+}

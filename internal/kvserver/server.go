@@ -24,6 +24,10 @@ type Options struct {
 	MaxConns int
 	// IdleTimeout closes connections with no traffic for this long.
 	IdleTimeout time.Duration
+	// NowNanos is the clock used to time per-op latency. Nil selects
+	// the wall clock; tests inject a fake to get deterministic
+	// histograms.
+	NowNanos func() int64
 }
 
 // Server accepts memcached protocol connections and serves a Store.
@@ -41,6 +45,9 @@ type Server struct {
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 	active   atomic.Int64
+
+	ops      *OpMetrics
+	nowNanos func() int64
 }
 
 // New creates a server for the given store. logger may be nil to
@@ -51,7 +58,18 @@ func New(store *kvstore.Store, logger *log.Logger) *Server {
 
 // NewWithOptions creates a server with explicit limits.
 func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Server {
-	return &Server{store: store, log: logger, opts: opts, conns: make(map[net.Conn]struct{})}
+	now := opts.NowNanos
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Server{
+		store:    store,
+		log:      logger,
+		opts:     opts,
+		conns:    make(map[net.Conn]struct{}),
+		ops:      NewOpMetrics(),
+		nowNanos: now,
+	}
 }
 
 // Listen binds the address (e.g. "127.0.0.1:11211"). Use port :0 for an
@@ -134,9 +152,13 @@ func (s *Server) handle(conn net.Conn) {
 		return // connection closed before any request
 	}
 	if first[0] == protocol.MagicRequest {
-		err = protocol.NewBinarySessionBuffered(s.store, br, bw).Serve()
+		sess := protocol.NewBinarySessionBuffered(s.store, br, bw)
+		sess.SetObserver(s.ops, s.nowNanos)
+		err = sess.Serve()
 	} else {
-		err = protocol.NewSessionBuffered(s.store, br, bw).Serve()
+		sess := protocol.NewSessionBuffered(s.store, br, bw)
+		sess.SetObserver(s.ops, s.nowNanos)
+		err = sess.Serve()
 	}
 	if err != nil && s.log != nil {
 		s.log.Printf("kvserver: connection %s: %v", conn.RemoteAddr(), err)

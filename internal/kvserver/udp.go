@@ -24,8 +24,10 @@ const (
 
 // UDPServer answers memcached ASCII commands over UDP.
 type UDPServer struct {
-	store *kvstore.Store
-	conn  *net.UDPConn
+	store    *kvstore.Store
+	conn     *net.UDPConn
+	ops      *OpMetrics
+	nowNanos func() int64
 
 	mu     sync.Mutex
 	closed bool
@@ -45,7 +47,7 @@ func (s *Server) ListenUDP(addr string) (*UDPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &UDPServer{store: s.store, conn: conn}
+	u := &UDPServer{store: s.store, conn: conn, ops: s.ops, nowNanos: s.nowNanos}
 	go u.serve()
 	return u, nil
 }
@@ -126,6 +128,7 @@ func (e *udpExchange) Write(p []byte) (int, error) { return e.out.Write(p) }
 func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
 	rw := &udpExchange{in: bytes.NewReader(payload)}
 	sess := protocol.NewSession(u.store, rw)
+	sess.SetObserver(u.ops, u.nowNanos)
 	// Errors end the session; whatever was produced still goes back.
 	_ = sess.Serve()
 

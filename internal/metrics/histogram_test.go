@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -234,5 +235,40 @@ func TestExactPercentile(t *testing.T) {
 	// Input must not be mutated.
 	if s[0] != 5 {
 		t.Fatal("ExactPercentile mutated its input")
+	}
+}
+
+func TestMergeEqualsSingleRecording(t *testing.T) {
+	// Recording a stream split across shards and merging must be
+	// bit-identical to recording the whole stream into one histogram —
+	// the property the per-stack/per-op aggregation in serversim and
+	// kvserver relies on. Histogram is a comparable value type, so the
+	// equality check covers every bucket and scalar.
+	rng := rand.New(rand.NewSource(99))
+	shards := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	all := NewHistogram()
+	for i := 0; i < 10_000; i++ {
+		v := rng.Int63n(1 << 30)
+		shards[i%len(shards)].Record(v)
+		all.Record(v)
+	}
+	merged := NewHistogram()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if *merged != *all {
+		t.Fatalf("merge != single recording:\nmerged: %v\nsingle: %v",
+			merged.Summarize(), all.Summarize())
+	}
+	// Reset then re-merge reproduces it again: Reset leaves no residue.
+	merged.Reset()
+	if *merged != *NewHistogram() {
+		t.Fatal("Reset left residue")
+	}
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if *merged != *all {
+		t.Fatal("re-merge after Reset diverged")
 	}
 }

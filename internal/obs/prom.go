@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"kv3d/internal/metrics"
+)
+
+// WritePrometheus renders probes in the Prometheus text exposition
+// format (version 0.0.4), one gauge per probe. Probe names use the
+// repo's dotted scheme; PromName maps them onto the exposition charset.
+// Probes should come from Registry.Snapshot, which sorts them, so the
+// scrape body is deterministic for a fixed state.
+func WritePrometheus(w io.Writer, probes []Probe) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range probes {
+		name := PromName(p.Name)
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteString(" gauge\n")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(p.Value, 'g', -1, 64))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SummaryProbes expands a metrics.Summary into probes under the given
+// dotted prefix (count, mean, p50, p95, p99, max). The same expansion
+// backs the /metrics endpoint and -json outputs, so per-op latency
+// reads identically everywhere.
+func SummaryProbes(prefix string, s metrics.Summary) []Probe {
+	return []Probe{
+		{Name: prefix + ".count", Value: float64(s.Count)},
+		{Name: prefix + ".mean", Value: s.Mean},
+		{Name: prefix + ".p50", Value: float64(s.P50)},
+		{Name: prefix + ".p95", Value: float64(s.P95)},
+		{Name: prefix + ".p99", Value: float64(s.P99)},
+		{Name: prefix + ".max", Value: float64(s.Max)},
+	}
+}
+
+// PromName maps a dotted probe name onto the Prometheus metric-name
+// charset [a-zA-Z0-9_:], prefixing the kv3d namespace: dots and every
+// other illegal byte become underscores, e.g.
+// "serversim.stack-00.queue_depth" -> "kv3d_serversim_stack_00_queue_depth".
+func PromName(name string) string {
+	out := make([]byte, 0, len(name)+5)
+	out = append(out, "kv3d_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WriteProbesJSON writes probes as one deterministic JSON object keyed
+// by probe name. Callers pass a Registry.Snapshot() or Server.Probes()
+// slice; names keep the dotted scheme (PromName maps them onto the
+// Prometheus endpoint's identifiers), so the JSON and the metrics
+// endpoint expose the same counters under convertible names.
+func WriteProbesJSON(w io.Writer, probes []Probe) error {
+	sorted := make([]Probe, len(probes))
+	copy(sorted, probes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n")
+	for i, p := range sorted {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.WriteString("  ")
+		writeJSONString(bw, p.Name)
+		bw.WriteString(": ")
+		bw.WriteString(strconv.FormatFloat(p.Value, 'g', -1, 64))
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"kv3d/internal/sim"
+)
+
+// Sample is one (time, value) observation of a sampled gauge.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// sampledGauge pairs a gauge with its trace destination.
+type sampledGauge struct {
+	name  string
+	track TrackID
+	fn    func() float64
+}
+
+// Sampler periodically evaluates registered gauges on the simulation's
+// own event queue: it schedules itself with sim.After, so samples land
+// at deterministic sim-times interleaved with model events. Each tick
+// appends to an in-memory series and, when a tracer is attached, emits a
+// counter event so the series shows up as a stepped track in Perfetto.
+type Sampler struct {
+	s      *sim.Simulator
+	tr     *Tracer // may be nil: series are still collected
+	every  sim.Duration
+	until  sim.Time
+	gauges []sampledGauge
+	series map[string][]Sample
+}
+
+// NewSampler creates a sampler with the given period. tr may be nil.
+func NewSampler(s *sim.Simulator, tr *Tracer, every sim.Duration) *Sampler {
+	if every <= 0 {
+		panic("obs: sampler period must be positive")
+	}
+	return &Sampler{s: s, tr: tr, every: every, series: map[string][]Sample{}}
+}
+
+// Gauge registers a gauge to be sampled each tick. Must be called
+// before Start.
+func (sp *Sampler) Gauge(track TrackID, name string, fn func() float64) {
+	sp.gauges = append(sp.gauges, sampledGauge{name: name, track: track, fn: fn})
+}
+
+// Start schedules the first tick at the current sim time; ticking stops
+// after the given deadline so the sampler never keeps a drained
+// simulation alive past its measurement window.
+func (sp *Sampler) Start(until sim.Time) {
+	sp.until = until
+	sp.s.At(sp.s.Now(), sp.tick)
+}
+
+// tick samples every gauge and reschedules itself.
+func (sp *Sampler) tick() {
+	now := sp.s.Now()
+	for i := range sp.gauges {
+		g := &sp.gauges[i]
+		v := g.fn()
+		sp.series[g.name] = append(sp.series[g.name], Sample{At: now, Value: v})
+		sp.tr.Counter(g.track, g.name, now, v)
+	}
+	if next := now.Add(sp.every); next <= sp.until {
+		sp.s.At(next, sp.tick)
+	}
+}
+
+// Series returns the collected samples for one gauge name.
+func (sp *Sampler) Series(name string) []Sample { return sp.series[name] }
+
+// Names returns the registered gauge names in registration order.
+func (sp *Sampler) Names() []string {
+	out := make([]string, len(sp.gauges))
+	for i := range sp.gauges {
+		out[i] = sp.gauges[i].name
+	}
+	return out
+}

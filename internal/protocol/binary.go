@@ -105,6 +105,17 @@ type BinarySession struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	body  []byte // reused frame body buffer
+
+	// Optional per-op observation, as on Session.
+	obs      Observer
+	nowNanos func() int64
+}
+
+// SetObserver installs a per-op observer and the nanosecond clock used
+// to time commands; call before Serve.
+func (s *BinarySession) SetObserver(o Observer, nowNanos func() int64) {
+	s.obs = o
+	s.nowNanos = nowNanos
 }
 
 // NewBinarySession wraps a transport. The caller must already have
@@ -169,6 +180,17 @@ func (s *BinarySession) serveOne() error {
 	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)])
 	value := body[int(h.extrasLen)+int(h.keyLen):]
 
+	if s.obs != nil && s.nowNanos != nil {
+		start := s.nowNanos()
+		err := s.dispatch(h, extras, key, value)
+		s.obs.ObserveOp(classifyOpcode(h.opcode), s.nowNanos()-start)
+		return err
+	}
+	return s.dispatch(h, extras, key, value)
+}
+
+// dispatch executes one parsed frame.
+func (s *BinarySession) dispatch(h binHeader, extras []byte, key string, value []byte) error {
 	switch h.opcode {
 	case OpGet, OpGetQ, OpGetK, OpGetKQ:
 		return s.doGet(h, key)

@@ -1,0 +1,83 @@
+package protocol
+
+// OpClass buckets protocol commands for per-op latency metrics: both
+// wire protocols (ASCII and binary) map onto the same classes, so the
+// metrics endpoint reports one histogram per logical operation
+// regardless of which protocol the client spoke.
+type OpClass int
+
+// Operation classes, in the order they are exported by the metrics
+// endpoint.
+const (
+	ClassGet    OpClass = iota // get/gets, binary get family
+	ClassStore                 // set/add/replace/append/prepend/cas
+	ClassDelete                // delete
+	ClassArith                 // incr/decr
+	ClassTouch                 // touch
+	ClassOther                 // stats, flush_all, version, noop, ...
+	NumOpClasses
+)
+
+// String returns the class's metric-name segment.
+func (c OpClass) String() string {
+	switch c {
+	case ClassGet:
+		return "get"
+	case ClassStore:
+		return "store"
+	case ClassDelete:
+		return "delete"
+	case ClassArith:
+		return "arith"
+	case ClassTouch:
+		return "touch"
+	default:
+		return "other"
+	}
+}
+
+// Observer receives one callback per executed command with the
+// command's handling time (read of the value payload through response
+// serialization) as reported by the injected clock. Implementations
+// are called from the connection's goroutine and must be safe for
+// concurrent use across connections.
+type Observer interface {
+	ObserveOp(c OpClass, nanos int64)
+}
+
+// classifyVerb maps an ASCII verb onto its class.
+func classifyVerb(verb string) OpClass {
+	switch verb {
+	case "get", "gets":
+		return ClassGet
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return ClassStore
+	case "delete":
+		return ClassDelete
+	case "incr", "decr":
+		return ClassArith
+	case "touch":
+		return ClassTouch
+	default:
+		return ClassOther
+	}
+}
+
+// classifyOpcode maps a binary opcode onto its class.
+func classifyOpcode(op byte) OpClass {
+	switch op {
+	case OpGet, OpGetQ, OpGetK, OpGetKQ:
+		return ClassGet
+	case OpSet, OpSetQ, OpAdd, OpAddQ, OpReplace, OpReplaceQ,
+		OpAppend, OpAppendQ, OpPrepend, OpPrependQ:
+		return ClassStore
+	case OpDelete, OpDeleteQ:
+		return ClassDelete
+	case OpIncr, OpIncrQ, OpDecr, OpDecrQ:
+		return ClassArith
+	case OpTouch:
+		return ClassTouch
+	default:
+		return ClassOther
+	}
+}

@@ -48,6 +48,19 @@ type Session struct {
 	// allocation-free.
 	valBuf  []byte
 	lineBuf []byte
+
+	// Optional per-op observation; the clock is injected by the server
+	// layer so this package never reads wall time itself.
+	obs      Observer
+	nowNanos func() int64
+}
+
+// SetObserver installs a per-op observer and the nanosecond clock used
+// to time commands. Both must be non-nil to enable observation; call
+// before Serve.
+func (s *Session) SetObserver(o Observer, nowNanos func() int64) {
+	s.obs = o
+	s.nowNanos = nowNanos
 }
 
 // NewSession wraps a transport with buffered I/O.
@@ -98,6 +111,17 @@ func (s *Session) serveOne() error {
 	}
 	verb := fields[0]
 	args := fields[1:]
+	if s.obs != nil && s.nowNanos != nil {
+		start := s.nowNanos()
+		err := s.dispatch(verb, args)
+		s.obs.ObserveOp(classifyVerb(verb), s.nowNanos()-start)
+		return err
+	}
+	return s.dispatch(verb, args)
+}
+
+// dispatch executes one parsed command.
+func (s *Session) dispatch(verb string, args []string) error {
 	switch verb {
 	case "get":
 		return s.doGet(args, false)

@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -127,4 +128,26 @@ func SI(v float64) string {
 	default:
 		return fmt.Sprintf("%.1f", v)
 	}
+}
+
+// RenderJSON writes the table as a deterministic JSON object
+// ({"title","columns","rows","note"}) for machine consumers; the field
+// order is fixed and rows appear exactly as AddRow stringified them.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Note    string     `json:"note,omitempty"`
+	}{t.Title, t.Columns, t.Rows, t.Note}
+	if enc.Columns == nil {
+		enc.Columns = []string{}
+	}
+	if enc.Rows == nil {
+		enc.Rows = [][]string{}
+	}
+	e := json.NewEncoder(w)
+	e.SetEscapeHTML(false)
+	e.SetIndent("", "  ")
+	return e.Encode(enc)
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -104,5 +105,42 @@ func TestSI(t *testing.T) {
 		if got := SI(in); got != want {
 			t.Errorf("SI(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestTableRenderJSON(t *testing.T) {
+	tbl := &Table{
+		Title:   "J",
+		Columns: []string{"Metric", "<1ms %"},
+		Note:    "n",
+	}
+	tbl.AddRow("x", 1.5)
+	var b strings.Builder
+	if err := tbl.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Note    string     `json:"note"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if dec.Title != "J" || len(dec.Rows) != 1 || dec.Rows[0][1] != "1.50" || dec.Note != "n" {
+		t.Fatalf("decoded = %+v", dec)
+	}
+	// Column headers pass through unescaped (SetEscapeHTML(false)).
+	if !strings.Contains(b.String(), `"<1ms %"`) {
+		t.Fatalf("HTML-escaped output:\n%s", b.String())
+	}
+	// Empty table still renders valid JSON with [] not null.
+	b.Reset()
+	if err := (&Table{}).RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rows": []`) {
+		t.Fatalf("empty rows should encode as []:\n%s", b.String())
 	}
 }

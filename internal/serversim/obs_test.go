@@ -1,0 +1,145 @@
+package serversim
+
+import (
+	"testing"
+
+	"kv3d/internal/obs"
+	"kv3d/internal/sim"
+)
+
+// TestAttributionSumsToLatency checks the latency split: per request,
+// sojourn = queueing + service, so the means must add up and the
+// per-stack service distribution must sit at the configured demand.
+func TestAttributionSumsToLatency(t *testing.T) {
+	cfg := mercuryBox(4, 4)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 0.7
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueWait.Count != r.Latency.Count || r.Service.Count != r.Latency.Count {
+		t.Fatalf("attribution counts %d/%d vs latency %d",
+			r.QueueWait.Count, r.Service.Count, r.Latency.Count)
+	}
+	sum := r.QueueWait.Mean + r.Service.Mean
+	if diff := sum - r.Latency.Mean; diff > r.Latency.Mean*0.001 || diff < -r.Latency.Mean*0.001 {
+		t.Fatalf("wait %.0f + service %.0f != latency %.0f", r.QueueWait.Mean, r.Service.Mean, r.Latency.Mean)
+	}
+	// Service demand is deterministic per request: min == max across
+	// every stack (one op type, one value size).
+	for _, st := range r.PerStack {
+		if st.Completed == 0 {
+			continue
+		}
+		if st.Service.P50 != r.PerStack[0].Service.P50 {
+			t.Fatalf("service time differs across stacks: %v", r.PerStack)
+		}
+	}
+	if r.MeanUtilization > 0.8 {
+		t.Fatalf("utilization %v too high for attribution check", r.MeanUtilization)
+	}
+}
+
+// TestIncompleteRequestsVisibleUnderOverload is the satellite fix: a
+// saturated box must report the requests the bounded drain abandoned
+// instead of silently dropping them from the accounting.
+func TestIncompleteRequestsVisibleUnderOverload(t *testing.T) {
+	cfg := mercuryBox(2, 2)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 3
+	cfg.Duration = 100 * sim.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals != r.Completions+r.IncompleteRequests {
+		t.Fatalf("accounting broken: %d arrivals, %d completions, %d incomplete",
+			r.Arrivals, r.Completions, r.IncompleteRequests)
+	}
+	// 3x overload for 100ms with a 50ms drain: the backlog cannot clear.
+	if r.IncompleteRequests == 0 {
+		t.Fatal("3x overload drained completely; IncompleteRequests is not measuring")
+	}
+}
+
+// TestLightLoadCompletesEverything is the complement: with ample
+// capacity the drain finishes every request.
+func TestLightLoadCompletesEverything(t *testing.T) {
+	cfg := mercuryBox(4, 4)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 0.2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IncompleteRequests != 0 {
+		t.Fatalf("light load left %d of %d requests incomplete", r.IncompleteRequests, r.Arrivals)
+	}
+	if r.Arrivals == 0 || r.Completions != r.Arrivals {
+		t.Fatalf("arrivals %d, completions %d", r.Arrivals, r.Completions)
+	}
+}
+
+// TestTracingDoesNotPerturbResults runs the same config with and
+// without a tracer and demands identical measurements — observation
+// must be free of observer effects on the model.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	cfg := mercuryBox(4, 4)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 0.8
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := cfg
+	traced.Trace = obs.NewTracer()
+	traced.Probes = obs.NewRegistry()
+	withObs, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(plain) != renderResult(withObs) {
+		t.Fatalf("tracing changed the result:\n%s\nvs\n%s", renderResult(plain), renderResult(withObs))
+	}
+	if traced.Trace.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+}
+
+// TestProbesMatchResult checks the registry counters agree with the
+// Result accounting — the same numbers the metrics endpoint and -json
+// outputs read.
+func TestProbesMatchResult(t *testing.T) {
+	cfg := mercuryBox(2, 4)
+	nominal, _ := NominalTPS(cfg)
+	cfg.OfferedTPS = nominal * 0.5
+	cfg.Probes = obs.NewRegistry()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range cfg.Probes.Snapshot() {
+		byName[p.Name] = p.Value
+	}
+	if got := byName["serversim.arrivals"]; got != float64(r.Arrivals) {
+		t.Fatalf("arrivals probe %v, result %d", got, r.Arrivals)
+	}
+	if got := byName["serversim.completions"]; got != float64(r.Completions) {
+		t.Fatalf("completions probe %v, result %d", got, r.Completions)
+	}
+	if got := byName["serversim.incomplete"]; got != float64(r.IncompleteRequests) {
+		t.Fatalf("incomplete probe %v, result %d", got, r.IncompleteRequests)
+	}
+	if byName["sim.events_dispatched"] == 0 {
+		t.Fatal("dispatch hook probe did not count")
+	}
+	var perStack float64
+	for _, st := range r.PerStack {
+		perStack += byName["serversim."+st.Name+".completed"]
+		if byName["serversim."+st.Name+".completed"] != float64(st.Completed) {
+			t.Fatalf("stack %s probe mismatch", st.Name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"kv3d/internal/cluster"
 	"kv3d/internal/metrics"
+	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 	"kv3d/internal/stackmodel"
 	"kv3d/internal/workload"
@@ -42,6 +43,35 @@ type Config struct {
 	WarmupFraction float64
 	// Seed drives arrivals and key choice.
 	Seed uint64
+
+	// Trace, when non-nil, records the run for chrome://tracing /
+	// Perfetto: one async span per request (with nested queue/service
+	// phases), per-stack wait/serve lanes, and sampled queue-depth and
+	// busy-core counters. Tracing is observation-only: it never
+	// perturbs model event order, so results match an untraced run.
+	Trace *obs.Tracer
+	// Probes, when non-nil, receives run counters under the
+	// "serversim." prefix (arrivals, completions, incomplete, per-stack
+	// completions) plus "sim.events_dispatched".
+	Probes *obs.Registry
+	// SampleEvery is the tracer/probe sampling period for queue-depth
+	// and busy-core time series (default 1ms of sim time).
+	SampleEvery sim.Duration
+}
+
+// StackStats is the per-stack slice of the latency attribution.
+type StackStats struct {
+	// Name is the stack's ring identity ("stack-00", ...).
+	Name string
+	// Completed counts measured-window completions routed here.
+	Completed int
+	// QueueWait and Service split the measured sojourn time.
+	QueueWait metrics.Summary
+	Service   metrics.Summary
+	// Utilization of this stack's core pool over the whole run.
+	Utilization float64
+	// MaxQueueLen is the queue's high-water mark.
+	MaxQueueLen int
 }
 
 // Result reports the measured open-loop behaviour.
@@ -53,11 +83,29 @@ type Result struct {
 	CompletedTPS float64
 	// Latency is the server-side sojourn time (queueing + service).
 	Latency metrics.Summary
+	// QueueWait and Service attribute the sojourn time: Latency is
+	// their per-request sum, so a p99 dominated by QueueWait means the
+	// box needs capacity, one dominated by Service means the stack
+	// model itself is the floor.
+	QueueWait metrics.Summary
+	Service   metrics.Summary
 	// SubMsFraction is the share of measured requests under 1ms.
 	SubMsFraction float64
 	// HottestUtilization and MeanUtilization of the per-stack core pools.
 	HottestUtilization float64
 	MeanUtilization    float64
+	// Arrivals counts every generated request over the full run
+	// (warmup included); Completions counts those that finished before
+	// the bounded post-run drain gave up. IncompleteRequests is the
+	// difference: anything still queued or in service after the 50ms
+	// drain. A non-zero value is the direct signature of saturation —
+	// previously these requests were silently dropped.
+	Arrivals           int
+	Completions        int
+	IncompleteRequests int
+	// PerStack is the attribution broken down by ring placement,
+	// ordered by stack name.
+	PerStack []StackStats
 }
 
 // Run executes the experiment.
@@ -89,15 +137,32 @@ func Run(cfg Config) (Result, error) {
 	service := ref.ServiceTime(cfg.Op, cfg.ValueBytes)
 
 	s := sim.New()
+	tr := cfg.Trace
 	stacks := make([]*sim.Resource, cfg.Stacks)
 	names := make([]string, cfg.Stacks)
+	tracks := make([]obs.TrackID, cfg.Stacks)
+	waitHists := make([]*metrics.Histogram, cfg.Stacks)
+	serviceHists := make([]*metrics.Histogram, cfg.Stacks)
+	perStackCompleted := make([]int, cfg.Stacks)
 	ring := cluster.NewRing(cfg.VirtualNodes)
-	byName := make(map[string]*sim.Resource, cfg.Stacks)
+	byName := make(map[string]int, cfg.Stacks)
 	for i := range stacks {
 		names[i] = fmt.Sprintf("stack-%02d", i)
 		stacks[i] = sim.NewResource(s, names[i], cfg.Stack.CoresPerStack)
 		ring.Add(names[i])
-		byName[names[i]] = stacks[i]
+		byName[names[i]] = i
+		waitHists[i] = metrics.NewHistogram()
+		serviceHists[i] = metrics.NewHistogram()
+		if tr.Enabled() {
+			tracks[i] = tr.RegisterTrack(names[i])
+			obs.InstrumentResource(tr, tracks[i], stacks[i])
+		}
+	}
+	obs.InstrumentSimulator(cfg.Probes, s)
+	var arrivalsProbe, completionsProbe *obs.Counter
+	if cfg.Probes != nil {
+		arrivalsProbe = cfg.Probes.Counter("serversim.arrivals")
+		completionsProbe = cfg.Probes.Counter("serversim.completions")
 	}
 
 	rng := sim.NewRand(cfg.Seed + 1)
@@ -117,12 +182,35 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	hist := metrics.NewHistogram()
+	waitAll := metrics.NewHistogram()
+	serviceAll := metrics.NewHistogram()
 	warmEnd := sim.Time(float64(cfg.Duration) * cfg.WarmupFraction)
 	end := sim.Time(cfg.Duration)
 	completedInWindow := 0
+	arrivalCount := 0
+	completionCount := 0
+	var reqID uint64
+
+	// Queue-depth and busy-core time series per stack, sampled on the
+	// event queue itself so samples land at deterministic sim-times.
+	if tr.Enabled() {
+		every := cfg.SampleEvery
+		if every <= 0 {
+			every = sim.Millisecond
+		}
+		sampler := obs.NewSampler(s, tr, every)
+		for i := range stacks {
+			r := stacks[i]
+			sampler.Gauge(tracks[i], "serversim."+names[i]+".queue_depth",
+				func() float64 { return float64(r.QueueLen()) })
+			sampler.Gauge(tracks[i], "serversim."+names[i]+".busy_cores",
+				func() float64 { return float64(r.Busy()) })
+		}
+		sampler.Start(end)
+	}
 
 	mean := sim.FromSeconds(1 / cfg.OfferedTPS)
-	arrivals := sim.NewRand(cfg.Seed + 2)
+	arrivalRNG := sim.NewRand(cfg.Seed + 2)
 	var arrive func()
 	arrive = func() {
 		now := s.Now()
@@ -131,12 +219,38 @@ func Run(cfg Config) (Result, error) {
 		}
 		node, err := ring.Locate(keyFor())
 		if err == nil {
-			res := byName[node]
+			idx := byName[node]
+			arrivalCount++
+			if arrivalsProbe != nil {
+				arrivalsProbe.Add(1)
+			}
+			reqID++
+			rid := reqID
 			start := now
-			res.Acquire(service, func() {
-				done := s.Now()
+			tr.AsyncBegin("req", "request", rid, now)
+			tr.Instant(tracks[idx], "route", now)
+			stacks[idx].AcquireInfo(service, func(info sim.ServiceInfo) {
+				done := info.Completed
+				completionCount++
+				if completionsProbe != nil {
+					completionsProbe.Add(1)
+				}
+				if tr.Enabled() {
+					if info.Wait() > 0 {
+						tr.AsyncBegin("req", "queue", rid, info.Enqueued)
+						tr.AsyncEnd("req", "queue", rid, info.Started)
+					}
+					tr.AsyncBegin("req", "service", rid, info.Started)
+					tr.AsyncEnd("req", "service", rid, info.Completed)
+					tr.AsyncEnd("req", "request", rid, info.Completed)
+				}
 				if start >= warmEnd && start < end {
 					hist.Record(int64(done.Sub(start)))
+					waitAll.Record(int64(info.Wait()))
+					serviceAll.Record(int64(info.Service()))
+					waitHists[idx].Record(int64(info.Wait()))
+					serviceHists[idx].Record(int64(info.Service()))
+					perStackCompleted[idx]++
 				}
 				// Throughput counts completions inside the window —
 				// counting by arrival would credit queued work that
@@ -146,29 +260,54 @@ func Run(cfg Config) (Result, error) {
 				}
 			})
 		}
-		s.After(arrivals.Exp(mean), arrive)
+		s.After(arrivalRNG.Exp(mean), arrive)
 	}
-	s.After(arrivals.Exp(mean), arrive)
+	s.After(arrivalRNG.Exp(mean), arrive)
 
 	// Run past the end so in-flight requests drain (bounded: 50 extra ms).
+	// Requests still unfinished after the bound are not silently lost:
+	// they surface as IncompleteRequests.
 	s.RunUntil(end.Add(50 * sim.Millisecond))
 
 	window := sim.Duration(end - warmEnd)
+	span := sim.Duration(s.Now())
+	perStack := make([]StackStats, cfg.Stacks)
 	var maxU, sumU float64
-	for _, r := range stacks {
-		u := r.Utilization(sim.Duration(s.Now()))
+	for i, r := range stacks {
+		u := r.Utilization(span)
 		sumU += u
 		if u > maxU {
 			maxU = u
 		}
+		perStack[i] = StackStats{
+			Name:        names[i],
+			Completed:   perStackCompleted[i],
+			QueueWait:   waitHists[i].Summarize(),
+			Service:     serviceHists[i].Summarize(),
+			Utilization: u,
+			MaxQueueLen: r.MaxQueueLen(),
+		}
+		if cfg.Probes != nil {
+			cfg.Probes.Counter("serversim." + names[i] + ".completed").Add(int64(perStackCompleted[i]))
+		}
+	}
+	incomplete := arrivalCount - completionCount
+	if cfg.Probes != nil {
+		cfg.Probes.Counter("serversim.incomplete").Add(int64(incomplete))
 	}
 	return Result{
 		OfferedTPS:         cfg.OfferedTPS,
 		CompletedTPS:       float64(completedInWindow) / window.Seconds(),
 		Latency:            hist.Summarize(),
+		QueueWait:          waitAll.Summarize(),
+		Service:            serviceAll.Summarize(),
 		SubMsFraction:      hist.FractionBelow(int64(sim.Millisecond)),
 		HottestUtilization: maxU,
 		MeanUtilization:    sumU / float64(len(stacks)),
+		Arrivals:           arrivalCount,
+		Completions:        completionCount,
+		IncompleteRequests: incomplete,
+		PerStack:           perStack,
 	}, nil
 }
 

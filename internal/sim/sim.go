@@ -138,7 +138,18 @@ type Simulator struct {
 	seq       uint64
 	processed uint64
 	running   bool
+	dispatch  DispatchHook
 }
+
+// DispatchHook observes event dispatch: it runs after each event
+// executes, with the event's timestamp. Observability code (the obs
+// package) uses it to count dispatched events; it must not schedule or
+// cancel events, only observe.
+type DispatchHook func(now Time)
+
+// SetDispatchHook installs (or, with nil, removes) the dispatch hook.
+// The disabled path costs one nil-check per event.
+func (s *Simulator) SetDispatchHook(h DispatchHook) { s.dispatch = h }
 
 // New returns an empty simulator at time zero.
 func New() *Simulator { return &Simulator{} }
@@ -192,6 +203,9 @@ func (s *Simulator) Step() bool {
 	s.now = ev.when
 	s.processed++
 	ev.fn()
+	if s.dispatch != nil {
+		s.dispatch(ev.when)
+	}
 	return true
 }
 

@@ -382,3 +382,67 @@ func TestRandZeroSeed(t *testing.T) {
 		t.Fatal("zero seed generator is stuck")
 	}
 }
+
+func TestAcquireInfoTimings(t *testing.T) {
+	s := New()
+	r := NewResource(s, "srv", 1)
+	var infos []ServiceInfo
+	r.AcquireInfo(30*Nanosecond, func(i ServiceInfo) { infos = append(infos, i) })
+	r.AcquireInfo(30*Nanosecond, func(i ServiceInfo) { infos = append(infos, i) })
+	s.Run()
+	if len(infos) != 2 {
+		t.Fatalf("got %d completions, want 2", len(infos))
+	}
+	first, second := infos[0], infos[1]
+	if first.Wait() != 0 || first.Service() != 30*Nanosecond {
+		t.Fatalf("first job wait=%v service=%v", first.Wait(), first.Service())
+	}
+	if second.Wait() != 30*Nanosecond || second.Service() != 30*Nanosecond {
+		t.Fatalf("second job wait=%v service=%v", second.Wait(), second.Service())
+	}
+	if second.Completed != Time(60*Nanosecond) {
+		t.Fatalf("second job completed at %v", second.Completed)
+	}
+}
+
+func TestResourceHooksFire(t *testing.T) {
+	s := New()
+	r := NewResource(s, "srv", 1)
+	var enq, started, completed int
+	var sawQueueLen int
+	r.SetHooks(&ResourceHooks{
+		Enqueued:  func(now Time, queueLen int) { enq++; sawQueueLen = queueLen },
+		Started:   func(now Time, wait Duration) { started++ },
+		Completed: func(now Time, wait, service Duration) { completed++ },
+	})
+	r.Acquire(10*Nanosecond, nil) // immediate start: no Enqueued, no Started (wait==0)
+	r.Acquire(10*Nanosecond, nil) // queues, then starts after waiting
+	s.Run()
+	if enq != 1 || sawQueueLen != 1 {
+		t.Fatalf("Enqueued fired %d times (queueLen %d), want 1/1", enq, sawQueueLen)
+	}
+	if started != 1 {
+		t.Fatalf("Started fired %d times, want 1 (only the waiting job)", started)
+	}
+	if completed != 2 {
+		t.Fatalf("Completed fired %d times, want 2", completed)
+	}
+}
+
+func TestDispatchHook(t *testing.T) {
+	s := New()
+	var times []Time
+	s.SetDispatchHook(func(now Time) { times = append(times, now) })
+	s.After(5*Nanosecond, func() {})
+	s.After(10*Nanosecond, func() {})
+	s.Run()
+	if len(times) != 2 || times[0] != Time(5*Nanosecond) || times[1] != Time(10*Nanosecond) {
+		t.Fatalf("dispatch hook saw %v", times)
+	}
+	s.SetDispatchHook(nil)
+	s.After(Nanosecond, func() {})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatal("removed hook still fired")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"kv3d/internal/memmodel"
 	"kv3d/internal/metrics"
 	"kv3d/internal/netmodel"
+	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 	"kv3d/internal/trace"
 )
@@ -282,11 +283,23 @@ func (st *Stack) Measure(op Op, valueBytes int64, requestsPerCore int) (Result, 
 	return st.collectResult(start, len(st.cores))
 }
 
+// DumpTrace emits the last run's packet trace as obs spans on a fresh
+// track, so a closed-loop Measure can be opened in Perfetto. Call it
+// before the next Measure: that Reset invalidates the packet buffer.
+func (st *Stack) DumpTrace(t *obs.Tracer) {
+	if !t.Enabled() {
+		return
+	}
+	trace.EmitSpans(t, t.RegisterTrack("packets"), st.buf.Snapshot())
+}
+
 // collectResult derives trace-based statistics for a finished run.
 // clients is the closed-loop population (cores, or accelerator
 // outstanding requests); TPSPerCore reports the per-client rate.
 func (st *Stack) collectResult(start sim.Time, clients int) (Result, error) {
-	rtts := trace.ExtractRTTs(st.buf.Records())
+	// Snapshot, not Records: the extracted view must not alias storage
+	// that the next Measure's Reset will reuse.
+	rtts := trace.ExtractRTTs(st.buf.Snapshot())
 	if len(rtts) == 0 {
 		return Result{}, fmt.Errorf("stackmodel: no completed requests")
 	}

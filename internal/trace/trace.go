@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 )
 
@@ -51,10 +52,22 @@ func (b *Buffer) Append(r Record) { b.recs = append(b.recs, r) }
 // Len reports the number of records.
 func (b *Buffer) Len() int { return len(b.recs) }
 
-// Records returns the raw records (not a copy; callers must not mutate).
+// Records returns the raw records. It is a view of live storage:
+// callers must not mutate it, and it is invalidated by the next Reset
+// (the backing array is reused). Use Snapshot to hold records past the
+// buffer's lifetime.
 func (b *Buffer) Records() []Record { return b.recs }
 
-// Reset clears the buffer.
+// Snapshot returns a copy of the records that stays valid across Reset
+// and further appends.
+func (b *Buffer) Snapshot() []Record {
+	out := make([]Record, len(b.recs))
+	copy(out, b.recs)
+	return out
+}
+
+// Reset clears the buffer. Slices returned by Records become invalid;
+// Snapshot copies survive.
 func (b *Buffer) Reset() { b.recs = b.recs[:0] }
 
 // RTT is one measured round trip.
@@ -104,6 +117,29 @@ func MeanRTT(rtts []RTT) sim.Duration {
 		sum += r.Duration.Seconds()
 	}
 	return sim.FromSeconds(sum / float64(len(rtts)))
+}
+
+// EmitSpans converts the packet trace into obs request spans: one async
+// "rtt" span per completed round trip (id = request id) plus an instant
+// per packet record on the given track. This bridges the paper's
+// packet-level methodology into the Chrome-trace view, so a closed-loop
+// stackmodel run can be inspected in Perfetto next to the open-loop
+// serversim lanes. A nil tracer is a no-op.
+func EmitSpans(t *obs.Tracer, track obs.TrackID, recs []Record) {
+	if !t.Enabled() {
+		return
+	}
+	for _, r := range recs {
+		name := "pkt:c->s"
+		if r.Dir == ServerToClient {
+			name = "pkt:s->c"
+		}
+		t.Instant(track, name, r.Time)
+	}
+	for _, rtt := range ExtractRTTs(recs) {
+		t.AsyncBegin("rtt", "rtt", rtt.ReqID, rtt.Start)
+		t.AsyncEnd("rtt", "rtt", rtt.ReqID, rtt.Start.Add(rtt.Duration))
+	}
 }
 
 // String renders a record like a one-line pcap summary.

@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 )
 
@@ -87,4 +90,46 @@ func TestRecordString(t *testing.T) {
 	if !strings.Contains((Record{Dir: ServerToClient}).String(), "s->c") {
 		t.Fatal("server direction string")
 	}
+}
+
+func TestSnapshotSurvivesReset(t *testing.T) {
+	var b Buffer
+	b.Append(Record{Time: 1, Dir: ClientToServer, ReqID: 1})
+	b.Append(Record{Time: 5, Dir: ServerToClient, ReqID: 1})
+	snap := b.Snapshot()
+	live := b.Records()
+	b.Reset()
+	b.Append(Record{Time: 9, Dir: ClientToServer, ReqID: 2})
+	if len(snap) != 2 || snap[0].ReqID != 1 || snap[1].Time != 5 {
+		t.Fatalf("snapshot corrupted by Reset: %v", snap)
+	}
+	// The live view aliases the reused backing array — this is exactly
+	// the hazard Snapshot exists to avoid.
+	if live[0].ReqID == 1 {
+		t.Fatal("expected Records view to be clobbered after Reset+Append; the aliasing contract changed")
+	}
+}
+
+func TestEmitSpans(t *testing.T) {
+	recs := []Record{
+		{Time: sim.Time(1 * sim.Microsecond), Dir: ClientToServer, ReqID: 7, Bytes: 24},
+		{Time: sim.Time(4 * sim.Microsecond), Dir: ServerToClient, ReqID: 7, Bytes: 104},
+		{Time: sim.Time(5 * sim.Microsecond), Dir: ClientToServer, ReqID: 8, Bytes: 24},
+		// request 8 never completes: no rtt span.
+	}
+	tr := obs.NewTracer()
+	EmitSpans(tr, tr.RegisterTrack("nic"), recs)
+	// 3 packet instants + 1 begin/end pair for the completed request.
+	if tr.Len() != 5 {
+		t.Fatalf("emitted %d events, want 5", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	// Nil tracer: no panic.
+	EmitSpans(nil, 0, recs)
 }
