@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 )
 
 // checkDeterminism forbids wall-clock reads, sleeps and global-state
@@ -12,6 +13,11 @@ import (
 // model code silently decouples reported RTT/TPS numbers from the seed,
 // which is exactly the failure mode the paper's calibration cannot
 // tolerate.
+//
+// In typed mode every call expression resolves to the *types.Func it
+// invokes, so aliased imports (`chrono "time"`), dot imports, and
+// same-named methods on local types are all classified correctly. The
+// AST fallback keeps the v1 spelling heuristics.
 
 // bannedTimeFuncs are the time-package functions that read or depend on
 // the host wall clock. Types (time.Duration) and constants (time.Second)
@@ -43,10 +49,82 @@ var bannedRandFuncs = map[string]bool{
 }
 
 func checkDeterminism(a *analysis) []finding {
+	if a.typed {
+		return checkDeterminismTyped(a)
+	}
+	return checkDeterminismAST(a)
+}
+
+// checkDeterminismTyped classifies each call by its resolved callee:
+// only package-level functions of "time" and "math/rand"(/v2) can
+// trigger, never methods, locals or identically-named functions from
+// other packages.
+func checkDeterminismTyped(a *analysis) []finding {
 	var out []finding
 	closure := a.simClosure()
 	for path, via := range closure {
 		pkg := a.pkgs[path]
+		if pkg.depOnly {
+			continue
+		}
+		reach := "a sim root"
+		if via != "" {
+			reach = fmt.Sprintf("imported via %s", via)
+		}
+		for _, pf := range pkg.files {
+			ast.Inspect(pf.ast, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := a.calleeFunc(call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				// Methods (time.Time.Sub, rand.Rand.Intn on an owned
+				// generator, ...) are fine; only the package-level entry
+				// points touch ambient state.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if why, banned := bannedTimeFuncs[fn.Name()]; banned {
+						out = append(out, finding{
+							pos:   a.fset.Position(call.Pos()),
+							check: "determinism",
+							msg: fmt.Sprintf("time.%s %s; package %s is in the sim-determinism set (%s) — use sim virtual time or an injected Clock",
+								fn.Name(), why, path, reach),
+						})
+					}
+				case "math/rand", "math/rand/v2":
+					if bannedRandFuncs[fn.Name()] {
+						out = append(out, finding{
+							pos:   a.fset.Position(call.Pos()),
+							check: "determinism",
+							msg: fmt.Sprintf("rand.%s uses the global math/rand source; package %s is in the sim-determinism set (%s) — use a seeded sim.Rand or an injected *rand.Rand",
+								fn.Name(), path, reach),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkDeterminismAST is the v1 spelling-based pass, kept for
+// -mode=ast. Because it cannot see through a dot import, it reports
+// those as un-analyzable rather than silently missing calls.
+func checkDeterminismAST(a *analysis) []finding {
+	var out []finding
+	closure := a.simClosure()
+	for path, via := range closure {
+		pkg := a.pkgs[path]
+		if pkg.depOnly {
+			continue
+		}
 		reach := "a sim root"
 		if via != "" {
 			reach = fmt.Sprintf("imported via %s", via)

@@ -7,12 +7,14 @@ import (
 	"testing"
 )
 
-// writeModule materializes a throwaway Go module and loads it through
-// the same path the CLI uses.
-func writeModule(t *testing.T, files map[string]string) *analysis {
+// writeModuleFiles materializes a throwaway Go module on disk and
+// returns its root.
+func writeModuleFiles(t *testing.T, files map[string]string) string {
 	t.Helper()
 	root := t.TempDir()
-	files["go.mod"] = "module fake\n\ngo 1.22\n"
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module fake\n\ngo 1.22\n"
+	}
 	for name, src := range files {
 		path := filepath.Join(root, filepath.FromSlash(name))
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -22,7 +24,20 @@ func writeModule(t *testing.T, files map[string]string) *analysis {
 			t.Fatal(err)
 		}
 	}
-	a, err := load(root, []string{"./..."})
+	return root
+}
+
+// writeModule loads a throwaway module through the same typed path the
+// CLI uses by default.
+func writeModule(t *testing.T, files map[string]string) *analysis {
+	t.Helper()
+	return writeModuleMode(t, files, modeTyped)
+}
+
+func writeModuleMode(t *testing.T, files map[string]string, mode loadMode) *analysis {
+	t.Helper()
+	root := writeModuleFiles(t, files)
+	a, err := load(root, []string{"./..."}, mode)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -100,6 +115,39 @@ const step = 5 * time.Millisecond // unit constants are not clock reads
 func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`,
 	})
 	assertFindings(t, checkDeterminism(a), 0)
+}
+
+// TestDeterminismMethodsNotConfusedWithClockReads pins a typed-mode
+// hardening: a method that happens to be called Now on a module type
+// must not trigger, and calls on an owned *rand.Rand must stay legal.
+func TestDeterminismMethodsNotConfusedWithClockReads(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+import "math/rand"
+type Clock struct{ t int64 }
+func (c *Clock) Now() int64 { return c.t }
+func Use(c *Clock, r *rand.Rand) int64 { return c.Now() + int64(r.Intn(4)) }`,
+	})
+	assertFindings(t, checkDeterminism(a), 0)
+}
+
+// TestTypedCatchesDotImportedClock is the aliased-import fixture for
+// the determinism check: v1's spelling pass can only warn that a dot
+// import exists, while the typed pass resolves the bare Now() call to
+// time.Now and reports the actual violation at the call site.
+func TestTypedCatchesDotImportedClock(t *testing.T) {
+	files := map[string]string{
+		"internal/sim/s.go": `package sim
+import . "time"
+func Bad() int64 { return Now().Unix() }`,
+	}
+	astA := writeModuleMode(t, files, modeAST)
+	fs := checkDeterminism(astA)
+	assertFindings(t, fs, 1, "dot-imports a clock/rand package")
+
+	typedA := writeModuleMode(t, files, modeTyped)
+	fs = checkDeterminism(typedA)
+	assertFindings(t, fs, 1, "time.Now reads the wall clock")
 }
 
 func TestNolintSuppressionRequiresReason(t *testing.T) {
@@ -193,6 +241,32 @@ func (r *Ring) Len() int {
 	assertFindings(t, checkLocks(a), 0)
 }
 
+// TestTypedCatchesAliasedMutexType is the aliased-import fixture for
+// lockcheck: the mutex hides behind a renamed sync import and a type
+// alias in another file. The v1 AST pass sees a field of unknown type
+// `hotMu` and establishes no guard; the typed pass resolves hotMu to
+// sync.Mutex and reports the unguarded access.
+func TestTypedCatchesAliasedMutexType(t *testing.T) {
+	files := map[string]string{
+		"pkg/alias.go": `package pkg
+import s "sync"
+type hotMu = s.Mutex`,
+		"pkg/c.go": `package pkg
+
+type C struct {
+	mu hotMu
+	n  int
+}
+
+func (c *C) Bad() int { return c.n }`,
+	}
+	astA := writeModuleMode(t, files, modeAST)
+	assertFindings(t, checkLocks(astA), 0) // v1-style resolution misses it
+
+	typedA := writeModuleMode(t, files, modeTyped)
+	assertFindings(t, checkLocks(typedA), 1, "C.Bad accesses c.n (guarded by mu)")
+}
+
 func TestUnitsMixedSuffixes(t *testing.T) {
 	a := writeModule(t, map[string]string{
 		"pkg/s.go": `package pkg
@@ -228,6 +302,29 @@ func f(totalPs, stepNs int64) int64 {
 	assertFindings(t, checkUnits(a), 1, "mixes Ps and Ns identifiers")
 }
 
+// TestUnitsTypedSimTimeRules pins the typed-only rules: adding or
+// multiplying two absolute sim.Time stamps is flagged, the kernel's own
+// `t + Time(d)` saturating-add idiom stays legal, and a typed sim.Ps
+// value keeps its unit through a transparent int64() conversion.
+func TestUnitsTypedSimTimeRules(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+type Time int64
+type Duration int64
+type Ps int64
+
+func bad1(t1, t2 Time) Time { return t1 + t2 }
+func bad2(t1, t2 Time) Time { return t1 * t2 }
+func ok1(t Time, d Duration) Time { return t + Time(d) }
+func mix(aNs int64, p Ps) int64 { return aNs + int64(p) }`,
+	})
+	assertFindings(t, checkUnits(a), 3,
+		"adds two sim.Time values",
+		"multiplies two sim.Time values",
+		"mixes Ns and Ps identifiers")
+}
+
 func TestPurityLoopCaptureAndGlobalWrite(t *testing.T) {
 	a := writeModule(t, map[string]string{
 		"internal/sim/sim.go": `package sim
@@ -253,6 +350,7 @@ func Run(s *Sim, names []string) {
 			count++ // local capture: fine
 		})
 	}
+	_ = count
 }`,
 	})
 	assertFindings(t, checkPurity(a), 3,
@@ -278,12 +376,307 @@ func Run(q *Q) {
 	assertFindings(t, checkPurity(a), 0)
 }
 
-func TestModulePatternExpansion(t *testing.T) {
+// TestPurityTypedRequiresModuleSink pins a typed-mode hardening: a
+// same-named method on a stdlib type must not register as a scheduling
+// sink.
+func TestPurityTypedRequiresModuleSink(t *testing.T) {
 	a := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+import "container/list"
+
+var total int
+
+func Run(l *list.List) {
+	// list.List has no After(func()) shape; use a local type that is
+	// not from this module via an interface value.
+	for i := 0; i < 3; i++ {
+		l.PushBack(func() { total += i })
+	}
+}`,
+	})
+	assertFindings(t, checkPurity(a), 0)
+}
+
+func TestLockOrderCycle(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func f(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func g(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}`,
+	})
+	assertFindings(t, checkLockOrder(a), 1, "lock-order cycle A.mu -> B.mu")
+}
+
+func TestLockOrderNoCycleWhenConsistent(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func f(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func g(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}`,
+	})
+	assertFindings(t, checkLockOrder(a), 0)
+}
+
+func TestLockOrderReentrantExportedMethod(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Sum deadlocks: it calls Get with s.mu held, and Get re-acquires.
+func (s *S) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Get() + 1
+}
+
+// Ok releases before calling back in.
+func (s *S) Ok() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n + s.Get()
+}`,
+	})
+	assertFindings(t, checkLockOrder(a), 1,
+		"Sum calls exported method Get while holding S.mu")
+}
+
+func TestLockOrderReentrantTransitive(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) helper() int { return s.Probe() }
+
+func (s *S) Probe() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Bad reaches Probe through helper with the lock held.
+func (s *S) Bad() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.helper()
+}`,
+	})
+	assertFindings(t, checkLockOrder(a), 1, "Bad calls function helper while holding S.mu")
+}
+
+func TestLockOrderDoubleAcquire(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}`,
+	})
+	assertFindings(t, checkLockOrder(a), 1, "acquires S.mu while already holding it")
+}
+
+func TestHotAllocFlagsIdiomsAndAllowsNonAllocating(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+
+import "fmt"
+
+type store struct{ m map[string]int }
+
+//kv3d:hotpath
+func (s *store) Hot(b []byte, name string) string {
+	msg := fmt.Sprintf("k=%d", len(b)) // flagged: fmt on hot path
+	key := string(b)                   // flagged: allocating conversion
+	_ = key
+	var acc []int
+	acc = append(acc, len(b)) // flagged: growth from zero capacity
+	fn := func() int { return len(acc) } // flagged: capturing closure
+	_ = fn
+	sink(len(b)) // flagged: boxes int into any
+	if s.m[string(b)] > 0 { // allowed: map-index conversion
+		return msg
+	}
+	if name == string(b) { // allowed: comparison conversion
+		return msg
+	}
+	switch string(b) { // allowed: switch-tag conversion
+	case "get":
+		return msg
+	}
+	return msg
+}
+
+//kv3d:hotpath
+func HotErr(b []byte) error {
+	if err := validate(b); err != nil {
+		return fmt.Errorf("bad frame: %w", err) // allowed: error path is cold
+	}
+	return nil
+}
+
+func validate(b []byte) error { return nil }
+
+func sink(v any) {}
+
+// Unannotated functions may allocate freely.
+func Cold(b []byte) string { return fmt.Sprintf("%d", len(b)) }`,
+	})
+	assertFindings(t, checkHotAlloc(a), 5,
+		"fmt.Sprintf allocates",
+		"[]byte -> string conversion copies",
+		`append grows "acc" from zero capacity`,
+		`closure captures "acc"`,
+		"boxing int into interface parameter")
+}
+
+func TestHotAllocScratchBufferReuseAllowed(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+
+type w struct{ scratch []byte }
+
+//kv3d:hotpath
+func (x *w) Render(n byte) []byte {
+	x.scratch = append(x.scratch[:0], 'v', n) // allowed: receiver-owned scratch
+	sized := make([]byte, 0, 8)
+	sized = append(sized, n) // allowed: capacity chosen explicitly
+	return sized
+}`,
+	})
+	assertFindings(t, checkHotAlloc(a), 0)
+}
+
+func TestErrDropIgnoredVsHandled(t *testing.T) {
+	a := writeModule(t, map[string]string{
+		"internal/obs/obs.go": `package obs
+import "io"
+func WriteProm(w io.Writer) error { _, err := w.Write(nil); return err }`,
+		"pkg/s.go": `package pkg
+
+import (
+	"bufio"
+	"net"
+
+	"fake/internal/obs"
+)
+
+func bad(w *bufio.Writer, c net.Conn) {
+	w.Flush()          // drop
+	_ = w.Flush()      // drop
+	defer w.Flush()    // drop
+	c.Write(nil)       // drop
+	w.WriteString("x") // allowed: sticky-error idiom
+	obs.WriteProm(w)   // drop
+}
+
+func good(w *bufio.Writer, c net.Conn) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte("x")); err != nil {
+		return err
+	}
+	return obs.WriteProm(w)
+}`,
+	})
+	assertFindings(t, checkErrDrop(a), 5,
+		"bufio Flush", "net connection Write", "obs renderer WriteProm",
+		"discarded by defer", "assigned to _")
+}
+
+// TestDepOnlyPackagesTypedButNotLinted checks that packages pulled in
+// only as dependencies of the lint targets are type-checked (the
+// target would not resolve otherwise) yet produce no findings.
+func TestDepOnlyPackagesTypedButNotLinted(t *testing.T) {
+	root := writeModuleFiles(t, map[string]string{
+		"pkg/a.go": `package pkg
+import "fake/dep"
+var _ = dep.New`,
+		"dep/d.go": `package dep
+import "sync"
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+func New() *D { return &D{} }
+
+// Unguarded access: would be a lockcheck finding if dep were a target.
+func (d *D) Bad() int { return d.n }`,
+	})
+	a, err := load(root, []string{"./pkg"}, modeTyped)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	dep, ok := a.pkgs["fake/dep"]
+	if !ok || !dep.depOnly {
+		t.Fatalf("fake/dep not loaded as dependency: %+v", a.pkgs)
+	}
+	if dep.types == nil {
+		t.Fatal("dependency package was not type-checked")
+	}
+	assertFindings(t, checkLocks(a), 0)
+}
+
+func TestModulePatternExpansion(t *testing.T) {
+	a := writeModuleMode(t, map[string]string{
 		"pkg/a.go":         `package pkg`,
 		"pkg/sub/b.go":     `package sub`,
 		"testdata/skip.go": `package skip`,
-	})
+	}, modeAST)
 	if len(a.pkgs) != 2 {
 		t.Fatalf("got %d packages, want 2 (testdata skipped): %v", len(a.pkgs), a.pkgs)
 	}

@@ -35,7 +35,7 @@ type structGuards struct {
 
 func checkLocks(a *analysis) []finding {
 	var out []finding
-	for _, pkg := range a.pkgs {
+	for _, pkg := range a.sortedPkgs() {
 		byStruct := map[string]*structGuards{}
 		for _, pf := range pkg.files {
 			collectStructGuards(a, pf, byStruct)
@@ -65,10 +65,15 @@ func checkLocks(a *analysis) []finding {
 }
 
 // collectStructGuards scans a file's struct declarations and fills the
-// guard relation for each.
+// guard relation for each. In typed mode a field is a mutex if its type
+// resolves to sync.Mutex/RWMutex — including through type aliases and
+// import renames that the AST spelling test cannot see.
 func collectStructGuards(a *analysis, pf *parsedFile, byStruct map[string]*structGuards) {
 	syncAliases, _ := importAliases(pf.ast, "sync")
 	isMutexType := func(t ast.Expr) bool {
+		if a.typed {
+			return isSyncMutex(a.info.Types[t].Type)
+		}
 		sel, ok := t.(*ast.SelectorExpr)
 		if !ok {
 			return false

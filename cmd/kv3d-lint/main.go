@@ -1,19 +1,33 @@
-// Command kv3d-lint is a repo-specific static analyzer guarding the two
+// Command kv3d-lint is a repo-specific static analyzer guarding the
 // properties the kv3d codebase depends on and the standard toolchain
 // cannot check: determinism of the simulation layer (the paper's RTT/TPS
 // tables are only trustworthy if model code never reads wall clocks or
-// global randomness) and concurrency hygiene of the live server path.
+// global randomness), concurrency hygiene of the live server path, and
+// allocation discipline on the request hot paths.
 //
-// It is stdlib-only (go/ast, go/parser, go/token) so it runs with
-// `go run ./cmd/kv3d-lint ./...` in any environment that can build the
-// repo, with no module downloads.
+// It is stdlib-only (go/ast, go/parser, go/token, go/types, go/importer)
+// so it runs with `go run ./cmd/kv3d-lint ./...` in any environment that
+// can build the repo, with no module downloads. Resolution is type-aware
+// by default: stdlib imports are resolved from compiler export data
+// (`go list -deps -export`) and the module's own packages are
+// type-checked from source, so aliased imports, type aliases, embedding
+// and shadowing cannot hide a banned call the way they could from the
+// v1 identifier-matching pass. `-mode=ast` restores the v1 behaviour for
+// toolchain-less environments.
 //
 // Checks (see LINTING.md for the full contract):
 //
 //	determinism   wall-clock and global-rand calls in sim-imported packages
 //	lockcheck     mutex-guarded struct fields read without the lock held
-//	units         arithmetic mixing Ns/Ps/Cycles identifiers unconverted
+//	units         arithmetic mixing time units (typed sim.Ps/sim.Ns/sim.Time
+//	              and Ns/Ps/Cycles identifier suffixes) unconverted
 //	purity        sim event callbacks capturing loop vars or mutating globals
+//	lockorder     lock-acquisition-order cycles and lock-held calls into
+//	              methods that re-acquire (typed mode only)
+//	hotalloc      allocation idioms inside //kv3d:hotpath functions
+//	              (typed mode only)
+//	errdrop       dropped errors at flush/conn-write/renderer sinks
+//	              (typed mode only)
 //
 // Findings print as "file:line:col: [check] message" and make the tool
 // exit 1. A finding is suppressed by an end-of-line directive
@@ -24,7 +38,6 @@ import (
 	"flag"
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -32,65 +45,22 @@ import (
 	"strings"
 )
 
-// finding is one diagnostic produced by a check.
-type finding struct {
-	pos   token.Position
-	check string
-	msg   string
-}
-
-// parsedFile pairs a parsed file with its path on disk.
-type parsedFile struct {
-	path string
-	ast  *ast.File
-}
-
-// pkgInfo is one package in the module under analysis.
-type pkgInfo struct {
-	path    string // import path, e.g. kv3d/internal/sim
-	dir     string
-	files   []*parsedFile
-	imports map[string]bool // module-internal imports only
-}
-
-// analysis is the loaded module plus the policy configuration shared by
-// all checks.
-type analysis struct {
-	fset   *token.FileSet
-	module string
-	pkgs   map[string]*pkgInfo
-
-	// simRoots are the packages whose (transitive) imports must be
-	// deterministic; allow exempts live-server packages that sit outside
-	// the simulation even when the graph reaches them.
-	simRoots []string
-	allow    map[string]bool
-}
-
-// defaultSimRoots lists the simulation entry points, relative to the
-// module path. Every package one of these imports must obey the
-// determinism contract.
-var defaultSimRoots = []string{
-	"internal/sim",
-	"internal/serversim",
-	"internal/clustersim",
-	"internal/experiments",
-}
-
-// defaultAllow lists real-server packages that are reachable from the
-// sim roots (experiments drive the live store too) but legitimately
-// touch wall clocks: they never run inside a simulation.
-var defaultAllow = []string{
-	"internal/kvserver",
-	"internal/kvclient",
-	"internal/server",
+// typedOnlyChecks require go/types resolution and are skipped (with a
+// stderr note) under -mode=ast.
+var typedOnlyChecks = map[string]bool{
+	"lockorder": true,
+	"hotalloc":  true,
+	"errdrop":   true,
 }
 
 func main() {
-	checksFlag := flag.String("checks", "determinism,lockcheck,units,purity",
+	checksFlag := flag.String("checks",
+		"determinism,lockcheck,units,purity,lockorder,hotalloc,errdrop",
 		"comma-separated subset of checks to run")
+	modeFlag := flag.String("mode", "typed",
+		"resolution mode: typed (go/types, default) or ast (v1 parse-only fallback)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kv3d-lint [-checks list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kv3d-lint [-checks list] [-mode typed|ast] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -98,17 +68,37 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	mode := modeTyped
+	switch *modeFlag {
+	case "typed":
+	case "ast":
+		mode = modeAST
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	a, err := load(".", patterns)
+	a, err := load(".", patterns, mode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kv3d-lint: %v\n", err)
 		os.Exit(2)
 	}
 
 	enabled := map[string]bool{}
+	var skipped []string
 	for _, c := range strings.Split(*checksFlag, ",") {
-		enabled[strings.TrimSpace(c)] = true
+		c = strings.TrimSpace(c)
+		if typedOnlyChecks[c] && !a.typed {
+			skipped = append(skipped, c)
+			continue
+		}
+		enabled[c] = true
 	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "kv3d-lint: skipping typed-only checks in -mode=ast: %s\n",
+			strings.Join(skipped, ", "))
+	}
+
 	var findings []finding
 	if enabled["determinism"] {
 		findings = append(findings, checkDeterminism(a)...)
@@ -121,6 +111,15 @@ func main() {
 	}
 	if enabled["purity"] {
 		findings = append(findings, checkPurity(a)...)
+	}
+	if enabled["lockorder"] {
+		findings = append(findings, checkLockOrder(a)...)
+	}
+	if enabled["hotalloc"] {
+		findings = append(findings, checkHotAlloc(a)...)
+	}
+	if enabled["errdrop"] {
+		findings = append(findings, checkErrDrop(a)...)
 	}
 	findings = applyNolint(a, findings)
 
@@ -141,7 +140,13 @@ func main() {
 		fmt.Printf("kv3d-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
-	fmt.Printf("kv3d-lint: %d package(s) clean\n", len(a.pkgs))
+	linted := 0
+	for _, pkg := range a.pkgs {
+		if !pkg.depOnly {
+			linted++
+		}
+	}
+	fmt.Printf("kv3d-lint: %d package(s) clean\n", linted)
 }
 
 // relPos renders a position with a path relative to the working
@@ -156,187 +161,10 @@ func relPos(p token.Position) string {
 	return p.String()
 }
 
-// load parses every package matched by the patterns under root and
-// builds the module-internal import graph.
-func load(root string, patterns []string) (*analysis, error) {
-	absRoot, err := filepath.Abs(root)
-	if err != nil {
-		return nil, err
-	}
-	module, err := modulePath(absRoot)
-	if err != nil {
-		return nil, err
-	}
-	dirs, err := expandPatterns(absRoot, patterns)
-	if err != nil {
-		return nil, err
-	}
-
-	a := &analysis{
-		fset:   token.NewFileSet(),
-		module: module,
-		pkgs:   map[string]*pkgInfo{},
-		allow:  map[string]bool{},
-	}
-	for _, r := range defaultSimRoots {
-		a.simRoots = append(a.simRoots, module+"/"+r)
-	}
-	for _, al := range defaultAllow {
-		a.allow[module+"/"+al] = true
-	}
-
-	for _, dir := range dirs {
-		pkg, err := parsePackage(a.fset, absRoot, module, dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil {
-			a.pkgs[pkg.path] = pkg
-		}
-	}
-	return a, nil
-}
-
-// modulePath reads the module directive from go.mod at root.
-func modulePath(root string) (string, error) {
-	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
-	if err != nil {
-		return "", fmt.Errorf("reading go.mod: %w", err)
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module "); ok {
-			return strings.TrimSpace(rest), nil
-		}
-	}
-	return "", fmt.Errorf("no module directive in %s/go.mod", root)
-}
-
-// expandPatterns resolves "./...", "./dir/..." and plain directory
-// arguments into a sorted list of directories containing Go files.
-func expandPatterns(root string, patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var out []string
-	add := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
-			out = append(out, dir)
-		}
-	}
-	for _, pat := range patterns {
-		recursive := false
-		if pat == "..." || strings.HasSuffix(pat, "/...") {
-			recursive = true
-			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
-			if pat == "" {
-				pat = "."
-			}
-		}
-		base := pat
-		if !filepath.IsAbs(base) {
-			base = filepath.Join(root, base)
-		}
-		if !recursive {
-			add(base)
-			continue
-		}
-		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-				name == "testdata" || name == "vendor" || name == "node_modules") {
-				return filepath.SkipDir
-			}
-			add(path)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// parsePackage parses the non-test Go files in dir, returning nil if the
-// directory holds no Go package.
-func parsePackage(fset *token.FileSet, root, module, dir string) (*pkgInfo, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("no such directory: %s", dir)
-		}
-		return nil, err
-	}
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	ipath := module
-	if rel != "." {
-		ipath = module + "/" + filepath.ToSlash(rel)
-	}
-	pkg := &pkgInfo{path: ipath, dir: dir, imports: map[string]bool{}}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", path, err)
-		}
-		pkg.files = append(pkg.files, &parsedFile{path: path, ast: f})
-		for _, imp := range f.Imports {
-			p := strings.Trim(imp.Path.Value, `"`)
-			if p == module || strings.HasPrefix(p, module+"/") {
-				pkg.imports[p] = true
-			}
-		}
-	}
-	if len(pkg.files) == 0 {
-		return nil, nil
-	}
-	return pkg, nil
-}
-
-// simClosure returns every analyzed package reachable from the sim
-// roots (roots included, allowlist excluded), mapped to a human-readable
-// import chain like "imported via kv3d/internal/experiments".
-func (a *analysis) simClosure() map[string]string {
-	out := map[string]string{}
-	var visit func(path, via string)
-	visit = func(path, via string) {
-		if a.allow[path] {
-			return
-		}
-		pkg, ok := a.pkgs[path]
-		if !ok {
-			return
-		}
-		if _, done := out[path]; done {
-			return
-		}
-		out[path] = via
-		for imp := range pkg.imports {
-			visit(imp, path)
-		}
-	}
-	for _, r := range a.simRoots {
-		visit(r, "")
-	}
-	return out
-}
-
 // importAliases returns the local names under which file imports any of
 // the given package paths (an empty map when none are imported). The
-// boolean reports whether one of them was dot-imported.
+// boolean reports whether one of them was dot-imported. This is the v1
+// (AST-mode) resolution primitive; typed checks use a.info instead.
 func importAliases(f *ast.File, paths ...string) (map[string]string, bool) {
 	want := map[string]bool{}
 	for _, p := range paths {
@@ -386,6 +214,9 @@ func applyNolint(a *analysis, findings []finding) []finding {
 					rest := strings.TrimSpace(c.Text[idx+len("nolint:kv3d"):])
 					reason := strings.TrimSpace(strings.TrimPrefix(rest, "//"))
 					if !strings.HasPrefix(rest, "//") || reason == "" {
+						if pkg.depOnly {
+							continue
+						}
 						out = append(out, finding{
 							pos:   a.fset.Position(c.Slash),
 							check: "nolint",

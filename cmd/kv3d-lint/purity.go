@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // checkPurity inspects simulation event callbacks — function literals
@@ -20,6 +21,13 @@ import (
 //     chosen by the event queue; mutating globals from them makes the
 //     result depend on event interleaving and breaks the "every
 //     experiment owns its state" replayability rule.
+//
+// In typed mode a sink only counts when the named method is defined on
+// a type of this module (so `foo.After` on some stdlib type never
+// triggers), and package-level writes are recognized by scope — the
+// assigned object's parent is the package scope — instead of by name,
+// which both removes shadowing false positives and catches cross-file
+// references precisely.
 
 // callbackSinks are method names whose final func-literal argument is
 // executed later by the event queue.
@@ -36,6 +44,9 @@ func checkPurity(a *analysis) []finding {
 	closure := a.simClosure()
 	for path := range closure {
 		pkg := a.pkgs[path]
+		if pkg.depOnly {
+			continue
+		}
 		pkgVarPos, pkgVarNames := packageLevelVars(pkg)
 		for _, pf := range pkg.files {
 			for _, decl := range pf.ast.Decls {
@@ -45,8 +56,8 @@ func checkPurity(a *analysis) []finding {
 				}
 				w := &purityWalker{
 					a:           a,
-					pkg:         path,
-					loopVars:    map[*ast.Object]token.Pos{},
+					pkg:         pkg,
+					loopVars:    map[any]token.Pos{},
 					pkgVarPos:   pkgVarPos,
 					pkgVarNames: pkgVarNames,
 				}
@@ -60,8 +71,8 @@ func checkPurity(a *analysis) []finding {
 
 // packageLevelVars returns the declaration positions of package-level
 // vars (keyed by ident object position) and the set of their names, so
-// both same-file (resolved) and cross-file (unresolved) references can
-// be recognized.
+// the AST fallback can recognize both same-file (resolved) and
+// cross-file (unresolved) references.
 func packageLevelVars(pkg *pkgInfo) (map[token.Pos]string, map[string]bool) {
 	pos := map[token.Pos]string{}
 	names := map[string]bool{}
@@ -93,11 +104,29 @@ func packageLevelVars(pkg *pkgInfo) (map[token.Pos]string, map[string]bool) {
 // function body, and lints callback literals it encounters.
 type purityWalker struct {
 	a           *analysis
-	pkg         string
-	loopVars    map[*ast.Object]token.Pos
+	pkg         *pkgInfo
+	loopVars    map[any]token.Pos
 	pkgVarPos   map[token.Pos]string
 	pkgVarNames map[string]bool
 	findings    []finding
+}
+
+// objOf resolves an identifier to a stable object key: the types.Object
+// in typed mode, the parser's ast.Object otherwise.
+func (w *purityWalker) objOf(id *ast.Ident) any {
+	if w.a.typed {
+		if o := w.a.info.Defs[id]; o != nil {
+			return o
+		}
+		if o := w.a.info.Uses[id]; o != nil {
+			return o
+		}
+		return nil
+	}
+	if id.Obj != nil {
+		return id.Obj
+	}
+	return nil
 }
 
 func (w *purityWalker) walk(n ast.Node) {
@@ -112,7 +141,7 @@ func (w *purityWalker) walk(n ast.Node) {
 		w.removeLoopVars(added)
 		return
 	case *ast.ForStmt:
-		var added []*ast.Object
+		var added []any
 		if assign, ok := v.Init.(*ast.AssignStmt); ok && assign.Tok == token.DEFINE {
 			for _, lhs := range assign.Lhs {
 				if id, ok := lhs.(*ast.Ident); ok {
@@ -151,35 +180,62 @@ func (w *purityWalker) walk(n ast.Node) {
 	})
 }
 
-func (w *purityWalker) addLoopVars(exprs ...ast.Expr) []*ast.Object {
-	var added []*ast.Object
+func (w *purityWalker) addLoopVars(exprs ...ast.Expr) []any {
+	var added []any
 	for _, e := range exprs {
 		id, ok := e.(*ast.Ident)
-		if !ok || id.Name == "_" || id.Obj == nil {
+		if !ok || id.Name == "_" {
 			continue
 		}
-		if _, exists := w.loopVars[id.Obj]; !exists {
-			w.loopVars[id.Obj] = id.Pos()
-			added = append(added, id.Obj)
+		obj := w.objOf(id)
+		if obj == nil {
+			continue
+		}
+		if _, exists := w.loopVars[obj]; !exists {
+			w.loopVars[obj] = id.Pos()
+			added = append(added, obj)
 		}
 	}
 	return added
 }
 
-func (w *purityWalker) removeLoopVars(objs []*ast.Object) {
+func (w *purityWalker) removeLoopVars(objs []any) {
 	for _, o := range objs {
 		delete(w.loopVars, o)
 	}
+}
+
+// isSink reports whether a call schedules its func-literal argument on
+// the event queue. The AST fallback matches by method name alone; typed
+// mode additionally requires the method to be defined on a type of this
+// module, so same-named stdlib methods never register.
+func (w *purityWalker) isSink(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !callbackSinks[sel.Sel.Name] {
+		return ""
+	}
+	if !w.a.typed {
+		return sel.Sel.Name
+	}
+	fn, ok := w.a.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if fn.Pkg() == nil || !w.a.isModulePkg(fn.Pkg().Path()) {
+		return ""
+	}
+	return sel.Sel.Name
 }
 
 // checkCall lints a scheduling call's func-literal arguments, then
 // descends into the whole call (nested schedules included) exactly once.
 func (w *purityWalker) checkCall(call *ast.CallExpr) {
 	w.walk(call.Fun)
-	sink := ""
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && callbackSinks[sel.Sel.Name] {
-		sink = sel.Sel.Name
-	}
+	sink := w.isSink(call)
 	for _, arg := range call.Args {
 		if fl, ok := arg.(*ast.FuncLit); ok && sink != "" {
 			w.lintCallback(sink, fl)
@@ -188,15 +244,36 @@ func (w *purityWalker) checkCall(call *ast.CallExpr) {
 	}
 }
 
+// isPackageVar reports whether an identifier resolves to a package-level
+// variable of the linted package.
+func (w *purityWalker) isPackageVar(id *ast.Ident) bool {
+	if w.a.typed {
+		v, ok := w.a.info.Uses[id].(*types.Var)
+		if !ok || w.pkg.types == nil {
+			return false
+		}
+		return v.Parent() == w.pkg.types.Scope()
+	}
+	if id.Obj != nil {
+		_, ok := w.pkgVarPos[id.Obj.Pos()]
+		return ok
+	}
+	return w.pkgVarNames[id.Name]
+}
+
 func (w *purityWalker) lintCallback(sink string, fl *ast.FuncLit) {
 	seen := map[string]bool{}
 	// Loop-variable captures.
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
-		if !ok || id.Obj == nil {
+		if !ok {
 			return true
 		}
-		declPos, isLoopVar := w.loopVars[id.Obj]
+		obj := w.objOf(id)
+		if obj == nil {
+			return true
+		}
+		declPos, isLoopVar := w.loopVars[obj]
 		if !isLoopVar || seen["loop:"+id.Name] {
 			return true
 		}
@@ -248,13 +325,7 @@ func (w *purityWalker) lintCallback(sink string, fl *ast.FuncLit) {
 			if !ok || seen["pkg:"+id.Name] {
 				continue
 			}
-			isPkgVar := false
-			if id.Obj != nil {
-				_, isPkgVar = w.pkgVarPos[id.Obj.Pos()]
-			} else {
-				isPkgVar = w.pkgVarNames[id.Name]
-			}
-			if !isPkgVar {
+			if !w.isPackageVar(id) {
 				continue
 			}
 			seen["pkg:"+id.Name] = true

@@ -1,0 +1,105 @@
+package kv3d
+
+// Allocation gates for the //kv3d:hotpath functions (see LINTING.md).
+// The hotalloc static check flags allocating idioms by shape; these
+// tests measure the real paths with testing.AllocsPerRun so a
+// regression that slips past the static pass (or hides behind a
+// nolint) still fails CI. The two contracts pinned here:
+//
+//   - A disabled (nil) obs.Tracer costs zero allocations per event, so
+//     model code can instrument unconditionally.
+//   - The ASCII GET path — readLine, dispatch, doGet, store lookup,
+//     response write — allocates nothing per operation in steady state.
+//     Per-session setup (bufio buffers, scratch growth on first use) is
+//     allowed; per-op cost must be flat.
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+
+	"kv3d/internal/kvstore"
+	"kv3d/internal/obs"
+	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
+)
+
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var tr *obs.Tracer // nil = disabled, the documented fast path
+	track := tr.RegisterTrack("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Complete(track, "op", 0, sim.Time(10))
+		tr.Instant(track, "mark", 5)
+		tr.Counter(track, "depth", 5, 1)
+		tr.AsyncBegin("req", "r", 1, 0)
+		tr.AsyncEnd("req", "r", 1, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Tracer allocates %v per event batch, want 0", allocs)
+	}
+}
+
+func TestKVStoreGetIntoBytesZeroAlloc(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("bench-key", []byte("bench-value-0123456789"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("bench-key")
+	dst := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, _, ok := st.GetIntoBytes(dst, key)
+		if !ok || len(out) == 0 {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetIntoBytes allocates %v per op, want 0", allocs)
+	}
+}
+
+// serveGets runs one ASCII session issuing n GET commands and returns
+// nothing; all per-session state is allocated inside so AllocsPerRun
+// measurements at different n isolate the per-op cost.
+func serveGets(t *testing.T, st *kvstore.Store, req string) {
+	t.Helper()
+	r := bufio.NewReaderSize(strings.NewReader(req), 4096)
+	w := bufio.NewWriterSize(io.Discard, 4096)
+	sess := protocol.NewSessionBuffered(st, r, w)
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestASCIIGetZeroAllocPerOp(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("k", []byte("0123456789abcdef"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	session := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("get k\r\n")
+		}
+		b.WriteString("quit\r\n")
+		return b.String()
+	}
+	const small, large = 64, 2048
+	reqSmall, reqLarge := session(small), session(large)
+
+	// Per-session allocations (session struct, scratch growth on first
+	// use) are identical for both sizes, so any difference is per-op
+	// cost — which must be exactly zero.
+	allocsSmall := testing.AllocsPerRun(10, func() { serveGets(t, st, reqSmall) })
+	allocsLarge := testing.AllocsPerRun(10, func() { serveGets(t, st, reqLarge) })
+	if perOp := (allocsLarge - allocsSmall) / float64(large-small); perOp != 0 {
+		t.Fatalf("ASCII GET allocates %v per op (session totals: %v @ %d ops, %v @ %d ops), want 0",
+			perOp, allocsSmall, small, allocsLarge, large)
+	}
+}

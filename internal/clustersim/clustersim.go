@@ -104,7 +104,11 @@ func Run(cfg Config) (Result, error) {
 		}
 		perStack[node]++
 		if cfg.Trace.Enabled() && (i+1)%stride == 0 {
-			ts := sim.Time(i+1) * sim.Time(sim.Microsecond)
+			// One request advances the synthetic time axis by 1us. The
+			// former `sim.Time(i+1) * sim.Time(sim.Microsecond)` multiplied
+			// two absolute timestamps — numerically identical here, but
+			// exactly the unit-mixing class the typed seam now rejects.
+			ts := sim.Time(sim.Duration(i+1) * sim.Microsecond)
 			for _, name := range names {
 				cfg.Trace.Counter(tracks[name], "clustersim."+name+".requests",
 					ts, float64(perStack[name]))

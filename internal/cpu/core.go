@@ -151,6 +151,13 @@ func (c Core) CyclePeriod() sim.Duration {
 	return sim.FromSeconds(1 / c.FreqHz)
 }
 
+// CycleTime converts a (possibly fractional) cycle count on this core
+// into time, going through the typed sim.CyclesToPs seam so the
+// cycles→picoseconds crossing is explicit.
+func (c Core) CycleTime(cycles float64) sim.Duration {
+	return sim.CyclesToPs(cycles, c.CyclePeriod()).Duration()
+}
+
 // ComputeTime returns the time to execute the given instruction count at
 // the core's effective IPC.
 func (c Core) ComputeTime(instructions float64) sim.Duration {

@@ -55,11 +55,14 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
-// Close sends quit and closes the connection.
+// Close sends quit and closes the connection. A flush failure is
+// reported alongside the close result: the quit is best-effort, but a
+// caller diagnosing a broken connection needs to see the write error,
+// not just the close status.
 func (c *Client) Close() error {
 	fmt.Fprint(c.w, "quit\r\n")
-	c.w.Flush()
-	return c.conn.Close()
+	ferr := c.w.Flush()
+	return errors.Join(ferr, c.conn.Close())
 }
 
 func (c *Client) readLine() (string, error) {

@@ -1,0 +1,35 @@
+package kvclient
+
+// Regression test for a bug found by the kv3d-lint errdrop check:
+// Close used to discard the Flush result, so a connection that died
+// before the best-effort quit went out reported a clean close.
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+func TestCloseSurfacesFlushError(t *testing.T) {
+	local, remote := net.Pipe()
+	remote.Close() // the quit flush must now fail
+	c := NewClient(local)
+	if err := c.Close(); err == nil {
+		t.Fatal("Close returned nil although the quit flush failed")
+	}
+}
+
+func TestCloseCleanOnHealthyConn(t *testing.T) {
+	local, remote := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(io.Discard, remote) // drain the quit
+	}()
+	c := NewClient(local)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close on healthy connection: %v", err)
+	}
+	remote.Close()
+	<-done
+}

@@ -9,6 +9,7 @@ import (
 	"kv3d/internal/metrics"
 	"kv3d/internal/obs"
 	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
 )
 
 // OpMetrics aggregates per-operation-class latency histograms across
@@ -30,12 +31,12 @@ func NewOpMetrics() *OpMetrics {
 }
 
 // ObserveOp records one command's handling time in nanoseconds.
-func (m *OpMetrics) ObserveOp(c protocol.OpClass, nanos int64) {
+func (m *OpMetrics) ObserveOp(c protocol.OpClass, nanos sim.Ns) {
 	if c < 0 || c >= protocol.NumOpClasses {
 		c = protocol.ClassOther
 	}
 	m.mu.Lock()
-	m.hists[c].Record(nanos)
+	m.hists[c].Record(int64(nanos))
 	m.mu.Unlock()
 }
 
@@ -78,6 +79,7 @@ func (s *Server) Probes() []obs.Probe {
 		{Name: "live.server.conns_accepted", Value: float64(s.Accepted())},
 		{Name: "live.server.conns_rejected", Value: float64(s.Rejected())},
 		{Name: "live.server.conns_active", Value: float64(s.Active())},
+		{Name: "live.server.metrics_write_errors", Value: float64(s.MetricsWriteErrors())},
 		{Name: "live.store.get_hits", Value: float64(st.GetHits)},
 		{Name: "live.store.get_misses", Value: float64(st.GetMisses)},
 		{Name: "live.store.sets", Value: float64(st.Sets)},
@@ -126,6 +128,13 @@ func (s *Server) OpMetrics() *OpMetrics { return s.ops }
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		obs.WritePrometheus(w, s.Probes())
+		if err := obs.WritePrometheus(w, s.Probes()); err != nil {
+			// Too late for an HTTP status (the body started); count the
+			// truncated scrape so it is visible on the next one.
+			s.metricsWriteErrors.Add(1)
+		}
 	})
 }
+
+// MetricsWriteErrors reports /metrics responses that failed mid-write.
+func (s *Server) MetricsWriteErrors() uint64 { return s.metricsWriteErrors.Load() }

@@ -10,17 +10,20 @@ import (
 	"kv3d/internal/kvclient"
 	"kv3d/internal/kvstore"
 	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
+	"kv3d/internal/testutil"
 )
 
 // fakeNanos is a deterministic clock: every read advances by 1µs, so
 // each timed operation records exactly 1000ns.
-func fakeNanos() func() int64 {
+func fakeNanos() func() sim.Ns {
 	var n atomic.Int64
-	return func() int64 { return n.Add(1000) }
+	return func() sim.Ns { return sim.Ns(n.Add(1000)) }
 }
 
 func startMetricsServer(t *testing.T) (*Server, string) {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
 	if err != nil {
 		t.Fatal(err)

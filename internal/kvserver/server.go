@@ -15,6 +15,7 @@ import (
 
 	"kv3d/internal/kvstore"
 	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
 )
 
 // Options tune server-level limits. The zero value means unlimited.
@@ -24,10 +25,10 @@ type Options struct {
 	MaxConns int
 	// IdleTimeout closes connections with no traffic for this long.
 	IdleTimeout time.Duration
-	// NowNanos is the clock used to time per-op latency. Nil selects
-	// the wall clock; tests inject a fake to get deterministic
-	// histograms.
-	NowNanos func() int64
+	// NowNanos is the clock used to time per-op latency, as a typed
+	// nanosecond count. Nil selects the wall clock; tests inject a
+	// fake to get deterministic histograms.
+	NowNanos func() sim.Ns
 }
 
 // Server accepts memcached protocol connections and serves a Store.
@@ -45,9 +46,12 @@ type Server struct {
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 	active   atomic.Int64
+	// metricsWriteErrors counts /metrics responses that failed mid-write
+	// (client gone, connection reset): the scrape was truncated.
+	metricsWriteErrors atomic.Uint64
 
 	ops      *OpMetrics
-	nowNanos func() int64
+	nowNanos func() sim.Ns
 }
 
 // New creates a server for the given store. logger may be nil to
@@ -60,7 +64,7 @@ func New(store *kvstore.Store, logger *log.Logger) *Server {
 func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Server {
 	now := opts.NowNanos
 	if now == nil {
-		now = func() int64 { return time.Now().UnixNano() }
+		now = func() sim.Ns { return sim.Ns(time.Now().UnixNano()) }
 	}
 	return &Server{
 		store:    store,

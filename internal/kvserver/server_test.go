@@ -12,10 +12,14 @@ import (
 
 	"kv3d/internal/kvclient"
 	"kv3d/internal/kvstore"
+	"kv3d/internal/testutil"
 )
 
 func startServer(t *testing.T) (*Server, string) {
 	t.Helper()
+	// Registered before the Close cleanup below, so it checks after the
+	// server (and any UDP listener the test added) has shut down.
+	testutil.CheckGoroutines(t)
 	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
 	if err != nil {
 		t.Fatal(err)
@@ -413,5 +417,45 @@ func TestUDPMalformedDatagramsDropped(t *testing.T) {
 			t.Fatalf("dropped = %d, want 2", udp.Dropped())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseReleasesAllGoroutines exercises the full TCP+UDP lifecycle
+// explicitly: the leak check registered by startServer (which runs
+// after every cleanup) is the assertion — accept loop, per-connection
+// handlers and the UDP read loop must all exit once Close returns.
+func TestCloseReleasesAllGoroutines(t *testing.T) {
+	srv, addr := startServer(t)
+	udp, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+
+	c, err := kvclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	uc, err := net.Dial("udp", udp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uc.Close()
+	req := append([]byte{0, 9, 0, 0, 0, 1, 0, 0}, "get k\r\n"...)
+	if _, err := uc.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	uc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp := make([]byte, 2048)
+	if _, err := uc.Read(resp); err != nil {
+		t.Fatalf("udp response: %v", err)
 	}
 }

@@ -2,23 +2,22 @@ package kvserver
 
 import (
 	"bytes"
-	"encoding/binary"
 	"net"
 	"sync"
 
 	"kv3d/internal/kvstore"
 	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
 )
 
-// UDP support. Facebook served memcached GETs over UDP to dodge exactly
-// the TCP-stack costs the paper's Figure 4 measures (~87% of request
-// time); the frame format is memcached's: an 8-byte header — request id,
-// sequence number, datagram count, reserved — followed by the ASCII
-// payload. Responses larger than one datagram are split with increasing
+// UDP support. The frame format and parser live in internal/protocol
+// (see udpframe.go, where the format is documented and fuzzed); this
+// file owns the sockets, goroutines and response fragmentation:
+// responses larger than one datagram are split with increasing
 // sequence numbers.
 const (
-	udpHeaderLen  = 8
-	udpMaxPayload = 1400 - udpHeaderLen
+	udpHeaderLen  = protocol.UDPHeaderLen
+	udpMaxPayload = protocol.UDPMaxPayload
 	udpReadBuffer = 64 << 10
 )
 
@@ -27,7 +26,7 @@ type UDPServer struct {
 	store    *kvstore.Store
 	conn     *net.UDPConn
 	ops      *OpMetrics
-	nowNanos func() int64
+	nowNanos func() sim.Ns
 
 	mu     sync.Mutex
 	closed bool
@@ -90,19 +89,13 @@ func (u *UDPServer) serve() {
 			}
 			continue
 		}
-		if n < udpHeaderLen {
+		reqID, src, err := protocol.ParseUDPRequest(buf[:n])
+		if err != nil {
 			u.drop()
 			continue
 		}
-		reqID := binary.BigEndian.Uint16(buf[0:])
-		// buf[2:4] sequence, buf[4:6] datagram count: requests fit one
-		// datagram, so anything fragmented is dropped like memcached does.
-		if binary.BigEndian.Uint16(buf[2:]) != 0 || binary.BigEndian.Uint16(buf[4:]) > 1 {
-			u.drop()
-			continue
-		}
-		payload := make([]byte, n-udpHeaderLen)
-		copy(payload, buf[udpHeaderLen:n])
+		payload := make([]byte, len(src))
+		copy(payload, src)
 		go u.handle(reqID, payload, peer)
 	}
 }
@@ -125,12 +118,13 @@ func (e *udpExchange) Write(p []byte) (int, error) { return e.out.Write(p) }
 
 // handle runs the ASCII command(s) in one datagram and sends the
 // (possibly fragmented) response.
+//
+//kv3d:hotpath
 func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
 	rw := &udpExchange{in: bytes.NewReader(payload)}
 	sess := protocol.NewSession(u.store, rw)
 	sess.SetObserver(u.ops, u.nowNanos)
-	// Errors end the session; whatever was produced still goes back.
-	_ = sess.Serve()
+	_ = sess.Serve() //nolint:kv3d // errors end the session; whatever response was produced still goes back to the peer
 
 	resp := rw.out.Bytes()
 	total := (len(resp) + udpMaxPayload - 1) / udpMaxPayload
@@ -142,16 +136,19 @@ func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
 		return
 	}
 	frame := make([]byte, udpHeaderLen+udpMaxPayload)
-	binary.BigEndian.PutUint16(frame[0:], reqID)
-	binary.BigEndian.PutUint16(frame[4:], uint16(total))
 	for seq := 0; seq < total; seq++ {
-		binary.BigEndian.PutUint16(frame[2:], uint16(seq))
+		protocol.PutUDPHeader(frame, reqID, uint16(seq), uint16(total))
 		chunk := resp[seq*udpMaxPayload:]
 		if len(chunk) > udpMaxPayload {
 			chunk = chunk[:udpMaxPayload]
 		}
 		n := copy(frame[udpHeaderLen:], chunk)
 		if _, err := u.conn.WriteToUDP(frame[:udpHeaderLen+n], peer); err != nil {
+			// A datagram that never reached the peer is neither handled
+			// nor silently gone: count it so Dropped() reflects response
+			// losses, not just malformed requests (previously this path
+			// returned without touching either counter).
+			u.drop()
 			return
 		}
 	}

@@ -90,6 +90,21 @@ func (s *shard) live(key string, now int64) *item {
 	return it
 }
 
+// liveBytes is live with a byte-slice key (the lazily-reaped item's
+// own key string drives the removal, so no conversion is needed).
+func (s *shard) liveBytes(key []byte, now int64) *item {
+	it := s.table.lookupBytes(key)
+	if it == nil {
+		return nil
+	}
+	if it.expired(now) || s.flushed(it, now) {
+		s.reap(it)
+		s.stats.Expired++
+		return nil
+	}
+	return it
+}
+
 // flushed reports whether a pending flush_all epoch has fired and this
 // item predates it.
 func (s *shard) flushed(it *item, now int64) bool {
@@ -126,6 +141,19 @@ func (s *shard) get(key string, now int64) (value []byte, flags uint32, casID ui
 // getInto is a zero-copy-ish variant: appends the value to dst.
 func (s *shard) getInto(dst []byte, key string, now int64) (value []byte, flags uint32, casID uint64, ok bool) {
 	it := s.live(key, now)
+	if it == nil {
+		s.stats.GetMisses++
+		return dst, 0, 0, false
+	}
+	s.stats.GetHits++
+	s.pol.onAccess(it, now)
+	return append(dst, it.value()...), it.flags, it.casID, true
+}
+
+// getIntoBytes is getInto with a byte-slice key, for the protocol hot
+// path where the key is a token of the request line.
+func (s *shard) getIntoBytes(dst, key []byte, now int64) (value []byte, flags uint32, casID uint64, ok bool) {
+	it := s.liveBytes(key, now)
 	if it == nil {
 		s.stats.GetMisses++
 		return dst, 0, 0, false

@@ -160,6 +160,10 @@ func (st *Store) shardFor(key string) *lockedShard {
 	return st.shards[(fnv1a64(key)>>48)&st.mask]
 }
 
+func (st *Store) shardForBytes(key []byte) *lockedShard {
+	return st.shards[(fnv1a64Bytes(key)>>48)&st.mask]
+}
+
 // expiryToAbs converts a memcached exptime to an absolute unix time:
 // 0 = never, <= 30 days = relative seconds, otherwise already absolute.
 func (st *Store) expiryToAbs(exptime int64) int64 {
@@ -184,6 +188,8 @@ type Entry struct {
 }
 
 // Get returns a copy of the stored entry.
+//
+//kv3d:hotpath
 func (st *Store) Get(key string) (Entry, bool) {
 	sh := st.shardFor(key)
 	now := st.clock()
@@ -195,6 +201,8 @@ func (st *Store) Get(key string) (Entry, bool) {
 
 // GetInto appends the value to dst and returns the extended slice,
 // avoiding a per-hit allocation on the server hot path.
+//
+//kv3d:hotpath
 func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
 	sh := st.shardFor(key)
 	now := st.clock()
@@ -204,7 +212,23 @@ func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
 	return out, Entry{Flags: flags, CAS: cas}, ok
 }
 
+// GetIntoBytes is GetInto keyed by a byte slice, so the protocol layer
+// can serve a GET without converting the parsed key token to a string
+// (hashing and hash-chain comparison never allocate).
+//
+//kv3d:hotpath
+func (st *Store) GetIntoBytes(dst, key []byte) ([]byte, Entry, bool) {
+	sh := st.shardForBytes(key)
+	now := st.clock()
+	sh.mu.Lock()
+	out, flags, cas, ok := sh.s.getIntoBytes(dst, key, now)
+	sh.mu.Unlock()
+	return out, Entry{Flags: flags, CAS: cas}, ok
+}
+
 // Set unconditionally stores the value.
+//
+//kv3d:hotpath
 func (st *Store) Set(key string, value []byte, flags uint32, exptime int64) error {
 	sh := st.shardFor(key)
 	now := st.clock()

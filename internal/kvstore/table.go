@@ -38,8 +38,50 @@ func fnv1a64(key string) uint64 {
 	return h
 }
 
+// fnv1a64Bytes is fnv1a64 over a raw key, for lookups that must not
+// materialize a string.
+func fnv1a64Bytes(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
 func (t *hashTable) bucketFor(tbl []*item, key string) int {
 	return int(fnv1a64(key) & uint64(len(tbl)-1))
+}
+
+func (t *hashTable) bucketForBytes(tbl []*item, key []byte) int {
+	return int(fnv1a64Bytes(key) & uint64(len(tbl)-1))
+}
+
+// lookupBytes is lookup with a byte-slice key: the string conversions
+// appear only in == comparisons, which do not allocate.
+func (t *hashTable) lookupBytes(key []byte) *item {
+	if t.old != nil {
+		i := t.bucketForBytes(t.old, key)
+		if i >= t.migrate { // bucket not yet migrated
+			for it := t.old[i]; it != nil; it = it.hnext {
+				if it.key == string(key) {
+					return it
+				}
+			}
+			return nil
+		}
+	}
+	i := t.bucketForBytes(t.buckets, key)
+	for it := t.buckets[i]; it != nil; it = it.hnext {
+		if it.key == string(key) {
+			return it
+		}
+	}
+	return nil
 }
 
 // lookup finds the item for key, following an in-progress rehash.

@@ -122,8 +122,8 @@ func (d *DRAM3D) ReadLatency() sim.Duration {
 	if d.rowHitRate <= 0 {
 		return d.latency
 	}
-	expected := d.rowHitRate*float64(d.rowHitLatency) + (1-d.rowHitRate)*float64(d.latency)
-	return sim.Duration(expected)
+	expected := d.rowHitRate*float64(d.rowHitLatency.Ps()) + (1-d.rowHitRate)*float64(d.latency.Ps())
+	return sim.Ps(expected).Duration()
 }
 
 func (d *DRAM3D) WriteLatency() sim.Duration { return d.ReadLatency() }
@@ -207,7 +207,7 @@ func (f *Flash3D) StreamTime(bytes int64) sim.Duration {
 		return 0
 	}
 	pages := (bytes + FlashPageBytes - 1) / FlashPageBytes
-	sense := sim.Duration(int64(f.readLat) * pages)
+	sense := f.readLat * sim.Duration(pages)
 	xfer := sim.FromSeconds(float64(bytes) / FlashChannelBytesPerSec)
 	return sense + xfer
 }

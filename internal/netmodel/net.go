@@ -105,7 +105,7 @@ func NewMAC(s *sim.Simulator, name string) *MAC {
 // clears the MAC.
 func (m *MAC) Forward(payload int64, done func()) {
 	frames := Segments(payload)
-	service := sim.Duration(int64(MACForwardLatency)*frames) +
+	service := MACForwardLatency*sim.Duration(frames) +
 		sim.FromSeconds(float64(FrameBytes(payload))/MACBytesPerSec)
 	m.res.Acquire(service, done)
 }

@@ -94,6 +94,8 @@ func (t *Tracer) RegisterTrack(name string) TrackID {
 }
 
 // Complete records a span [start, end) on a track.
+//
+//kv3d:hotpath
 func (t *Tracer) Complete(track TrackID, name string, start, end sim.Time) {
 	if t == nil {
 		return
@@ -104,6 +106,8 @@ func (t *Tracer) Complete(track TrackID, name string, start, end sim.Time) {
 }
 
 // Instant records a point event on a track.
+//
+//kv3d:hotpath
 func (t *Tracer) Instant(track TrackID, name string, ts sim.Time) {
 	if t == nil {
 		return
@@ -113,6 +117,8 @@ func (t *Tracer) Instant(track TrackID, name string, ts sim.Time) {
 
 // Counter records a sampled value; Perfetto renders each counter name as
 // its own stepped time-series track.
+//
+//kv3d:hotpath
 func (t *Tracer) Counter(track TrackID, name string, ts sim.Time, value float64) {
 	if t == nil {
 		return
@@ -125,6 +131,8 @@ func (t *Tracer) Counter(track TrackID, name string, ts sim.Time, value float64)
 // AsyncBegin opens an async span identified by (cat, id). Async spans
 // may overlap freely, which is how per-request lifecycles are drawn:
 // one id per request, nested b/e pairs for its phases.
+//
+//kv3d:hotpath
 func (t *Tracer) AsyncBegin(cat, name string, id uint64, ts sim.Time) {
 	if t == nil {
 		return
@@ -135,6 +143,8 @@ func (t *Tracer) AsyncBegin(cat, name string, id uint64, ts sim.Time) {
 }
 
 // AsyncEnd closes the async span opened with the same (cat, id).
+//
+//kv3d:hotpath
 func (t *Tracer) AsyncEnd(cat, name string, id uint64, ts sim.Time) {
 	if t == nil {
 		return
@@ -191,11 +201,11 @@ func writeEvent(bw *bufio.Writer, ev *traceEvent) {
 	bw.WriteString(`","pid":1,"tid":`)
 	bw.WriteString(strconv.Itoa(int(ev.track)))
 	bw.WriteString(`,"ts":`)
-	writeMicros(bw, int64(ev.ts))
+	writeMicros(bw, ev.ts.Ps())
 	switch ev.ph {
 	case phaseComplete:
 		bw.WriteString(`,"dur":`)
-		writeMicros(bw, int64(ev.dur))
+		writeMicros(bw, ev.dur.Ps())
 	case phaseInstant:
 		bw.WriteString(`,"s":"t"`)
 	case phaseCounter:
@@ -212,18 +222,18 @@ func writeEvent(bw *bufio.Writer, ev *traceEvent) {
 	bw.WriteString(`}`)
 }
 
-// writeMicros renders picoseconds as decimal microseconds (the trace
-// format's time unit) with full picosecond precision and no float
-// round-trip: 1234567 ps -> "1.234567".
-func writeMicros(bw *bufio.Writer, ps int64) {
+// writeMicros renders a typed picosecond count as decimal microseconds
+// (the trace format's time unit) with full picosecond precision and no
+// float round-trip: 1234567 ps -> "1.234567".
+func writeMicros(bw *bufio.Writer, ps sim.Ps) {
 	neg := ps < 0
 	if neg {
 		bw.WriteByte('-')
 		ps = -ps
 	}
 	const psPerUs = 1_000_000
-	bw.WriteString(strconv.FormatInt(ps/psPerUs, 10))
-	frac := ps % psPerUs
+	bw.WriteString(strconv.FormatInt(int64(ps/psPerUs), 10))
+	frac := int64(ps % psPerUs)
 	if frac == 0 {
 		return
 	}

@@ -120,7 +120,7 @@ func TestWriteJSONDeterministic(t *testing.T) {
 
 // TestWriteMicros pins the picosecond -> microsecond rendering.
 func TestWriteMicros(t *testing.T) {
-	cases := map[int64]string{
+	cases := map[sim.Ps]string{
 		0:             "0",
 		1:             "0.000001",
 		1_000_000:     "1",

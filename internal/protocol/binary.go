@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"kv3d/internal/kvstore"
+	"kv3d/internal/sim"
 )
 
 // Binary protocol magic bytes.
@@ -108,12 +109,12 @@ type BinarySession struct {
 
 	// Optional per-op observation, as on Session.
 	obs      Observer
-	nowNanos func() int64
+	nowNanos func() sim.Ns
 }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands; call before Serve.
-func (s *BinarySession) SetObserver(o Observer, nowNanos func() int64) {
+func (s *BinarySession) SetObserver(o Observer, nowNanos func() sim.Ns) {
 	s.obs = o
 	s.nowNanos = nowNanos
 }
@@ -134,7 +135,8 @@ func NewBinarySessionBuffered(store *kvstore.Store, r *bufio.Reader, w *bufio.Wr
 	return &BinarySession{store: store, r: r, w: w}
 }
 
-// Serve processes frames until quit, EOF, or a transport error.
+// Serve processes frames until quit, EOF, or a transport error. As on
+// the ASCII session, a failed final flush is reported, not swallowed.
 func (s *BinarySession) Serve() error {
 	for {
 		err := s.serveOne()
@@ -142,15 +144,16 @@ func (s *BinarySession) Serve() error {
 		case err == nil:
 			continue
 		case errors.Is(err, ErrQuit), errors.Is(err, io.EOF):
-			s.w.Flush()
-			return nil
+			return s.w.Flush()
 		default:
-			s.w.Flush()
-			return err
+			return errors.Join(err, s.w.Flush())
 		}
 	}
 }
 
+// serveOne reads and executes one binary frame.
+//
+//kv3d:hotpath
 func (s *BinarySession) serveOne() error {
 	var hdr [binHeaderLen]byte
 	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
@@ -177,7 +180,7 @@ func (s *BinarySession) serveOne() error {
 		return err
 	}
 	extras := body[:h.extrasLen]
-	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)])
+	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)]) //nolint:kv3d // binary keys cross into the string-keyed store mutation API; one short per-frame allocation is accepted
 	value := body[int(h.extrasLen)+int(h.keyLen):]
 
 	if s.obs != nil && s.nowNanos != nil {

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"kv3d/internal/kvstore"
@@ -55,9 +56,10 @@ func FuzzASCIISession(f *testing.F) {
 	})
 }
 
-// FuzzBinarySession throws arbitrary bytes at the binary-protocol
-// session with the same invariant.
-func FuzzBinarySession(f *testing.F) {
+// FuzzSessionBinary throws arbitrary bytes at the binary-protocol
+// session: it must never panic, and must terminate on finite input.
+// (Named so that CI's -fuzz=FuzzBinary selects only the framer target.)
+func FuzzSessionBinary(f *testing.F) {
 	f.Add(frame(OpGet, "k", nil, nil, 0, 0))
 	f.Add(frame(OpSet, "k", setExtras(1, 2), []byte("v"), 0, 9))
 	f.Add(frame(OpIncr, "n", incrExtras(1, 5, 0), nil, 0, 0))
@@ -100,6 +102,99 @@ func FuzzASCIIRoundTrip(f *testing.F) {
 		}
 		if !bytes.HasSuffix(out, []byte("END\r\n")) {
 			t.Fatalf("missing END: %q", out)
+		}
+	})
+}
+
+// FuzzBinaryFramer targets the binary framing layer: header decode
+// must be an exact inverse of the wire encoding, and the frame-length
+// validation must reject inconsistent frames instead of mis-slicing.
+func FuzzBinaryFramer(f *testing.F) {
+	// Golden requests seed the corpus.
+	f.Add(frame(OpGet, "k", nil, nil, 0, 0))
+	f.Add(frame(OpSet, "key", setExtras(7, 60), []byte("value"), 1, 42))
+	f.Add(frame(OpIncr, "n", incrExtras(1, 5, 0), nil, 0, 0))
+	f.Add(frame(OpDelete, "gone", nil, nil, 3, 9))
+	f.Add(frame(OpQuit, "", nil, nil, 0, 0))
+	f.Add([]byte{0x81, 0, 0, 0})              // response magic, truncated
+	bad := frame(OpSet, "k", setExtras(0, 0), []byte("v"), 0, 0)
+	bad[4] = 200 // extras longer than body
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < binHeaderLen {
+			t.Skip()
+		}
+		h := parseBinHeader(data)
+
+		// Re-encoding the decoded header must reproduce the input bytes
+		// (byte 5 is the data-type field, carried through undecoded).
+		var enc [binHeaderLen]byte
+		enc[0], enc[1] = h.magic, h.opcode
+		binary.BigEndian.PutUint16(enc[2:], h.keyLen)
+		enc[4], enc[5] = h.extrasLen, data[5]
+		binary.BigEndian.PutUint16(enc[6:], h.status)
+		binary.BigEndian.PutUint32(enc[8:], h.bodyLen)
+		binary.BigEndian.PutUint32(enc[12:], h.opaque)
+		binary.BigEndian.PutUint64(enc[16:], h.cas)
+		if !bytes.Equal(enc[:], data[:binHeaderLen]) {
+			t.Fatalf("header decode is lossy: in=%x re-encoded=%x", data[:binHeaderLen], enc)
+		}
+
+		// Frame validation: the session must refuse frames whose declared
+		// lengths are inconsistent or whose magic is wrong, and must not
+		// panic regardless.
+		st := fuzzStore(t)
+		buf := &rwBuffer{in: bytes.NewReader(data)}
+		err := NewBinarySession(st, buf).Serve()
+		if h.magic != MagicRequest && err == nil {
+			t.Fatalf("session accepted magic %#02x", h.magic)
+		}
+		if h.magic == MagicRequest && int(h.extrasLen)+int(h.keyLen) > int(h.bodyLen) && err == nil {
+			t.Fatalf("session accepted inconsistent lengths: extras=%d key=%d body=%d",
+				h.extrasLen, h.keyLen, h.bodyLen)
+		}
+	})
+}
+
+// FuzzUDPFrame targets the UDP request parser: short datagrams and
+// fragmented requests must be rejected; accepted datagrams must echo
+// the request id and alias the payload exactly.
+func FuzzUDPFrame(f *testing.F) {
+	// Golden request: one well-formed framed GET.
+	well := make([]byte, UDPHeaderLen+len("get k\r\n"))
+	PutUDPHeader(well, 0x1234, 0, 1)
+	copy(well[UDPHeaderLen:], "get k\r\n")
+	f.Add(well)
+	empty := make([]byte, UDPHeaderLen)
+	PutUDPHeader(empty, 1, 0, 1)
+	f.Add(empty)                                             // header only, empty payload
+	f.Add([]byte{1, 2, 3})                                   // shorter than the header
+	f.Add([]byte{0, 1, 0, 5, 0, 9, 0, 0, 'g', 'x'})          // fragmented request
+	f.Add([]byte{0, 1, 0, 0, 0, 2, 0, 0, 'g', 'e', 't', 13}) // count > 1
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqID, payload, err := ParseUDPRequest(data)
+		if err != nil {
+			if len(data) >= UDPHeaderLen &&
+				binary.BigEndian.Uint16(data[2:]) == 0 &&
+				binary.BigEndian.Uint16(data[4:]) <= 1 {
+				t.Fatalf("rejected a well-formed datagram: %v", err)
+			}
+			return
+		}
+		if len(data) < UDPHeaderLen {
+			t.Fatal("accepted a datagram shorter than the frame header")
+		}
+		if seq := binary.BigEndian.Uint16(data[2:]); seq != 0 {
+			t.Fatalf("accepted fragmented request (seq=%d)", seq)
+		}
+		if !bytes.Equal(payload, data[UDPHeaderLen:]) {
+			t.Fatal("payload does not alias the datagram tail")
+		}
+		// The response header must echo the request id.
+		var resp [UDPHeaderLen]byte
+		PutUDPHeader(resp[:], reqID, 0, 1)
+		if !bytes.Equal(resp[:2], data[:2]) {
+			t.Fatalf("request id not echoed: sent %x, frame has %x", data[:2], resp[:2])
 		}
 	})
 }

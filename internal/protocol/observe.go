@@ -1,5 +1,7 @@
 package protocol
 
+import "kv3d/internal/sim"
+
 // OpClass buckets protocol commands for per-op latency metrics: both
 // wire protocols (ASCII and binary) map onto the same classes, so the
 // metrics endpoint reports one histogram per logical operation
@@ -38,11 +40,34 @@ func (c OpClass) String() string {
 
 // Observer receives one callback per executed command with the
 // command's handling time (read of the value payload through response
-// serialization) as reported by the injected clock. Implementations
-// are called from the connection's goroutine and must be safe for
-// concurrent use across connections.
+// serialization) as reported by the injected clock. The duration is a
+// typed nanosecond count (sim.Ns) so it cannot be mixed with the
+// kernel's picosecond values without an explicit conversion.
+// Implementations are called from the connection's goroutine and must
+// be safe for concurrent use across connections.
 type Observer interface {
-	ObserveOp(c OpClass, nanos int64)
+	ObserveOp(c OpClass, nanos sim.Ns)
+}
+
+// classifyVerbBytes maps a raw ASCII verb token onto its class. The
+// string conversion happens only inside the switch comparison, which
+// does not allocate (unlike passing string(verb) to classifyVerb,
+// which would depend on mid-stack inlining to stay alloc-free).
+func classifyVerbBytes(verb []byte) OpClass {
+	switch string(verb) {
+	case "get", "gets":
+		return ClassGet
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return ClassStore
+	case "delete":
+		return ClassDelete
+	case "incr", "decr":
+		return ClassArith
+	case "touch":
+		return ClassTouch
+	default:
+		return ClassOther
+	}
 }
 
 // classifyVerb maps an ASCII verb onto its class.

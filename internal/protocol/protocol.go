@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"kv3d/internal/kvstore"
+	"kv3d/internal/sim"
 )
 
 // Version is reported by the "version" command.
@@ -48,17 +49,18 @@ type Session struct {
 	// allocation-free.
 	valBuf  []byte
 	lineBuf []byte
+	numBuf  []byte
 
 	// Optional per-op observation; the clock is injected by the server
 	// layer so this package never reads wall time itself.
 	obs      Observer
-	nowNanos func() int64
+	nowNanos func() sim.Ns
 }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands. Both must be non-nil to enable observation; call
 // before Serve.
-func (s *Session) SetObserver(o Observer, nowNanos func() int64) {
+func (s *Session) SetObserver(o Observer, nowNanos func() sim.Ns) {
 	s.obs = o
 	s.nowNanos = nowNanos
 }
@@ -79,7 +81,8 @@ func NewSessionBuffered(store *kvstore.Store, r *bufio.Reader, w *bufio.Writer) 
 }
 
 // Serve processes commands until EOF, quit, or a transport error.
-// A clean client disconnect returns nil.
+// A clean client disconnect returns nil — unless the final flush fails,
+// which would silently truncate the last response.
 func (s *Session) Serve() error {
 	for {
 		err := s.serveOne()
@@ -87,48 +90,57 @@ func (s *Session) Serve() error {
 		case err == nil:
 			continue
 		case errors.Is(err, ErrQuit), errors.Is(err, io.EOF):
-			s.w.Flush()
-			return nil
+			return s.w.Flush()
 		default:
-			s.w.Flush()
-			return err
+			// Surface both: the command error ended the session, and a
+			// failed flush means the error response never reached the
+			// client. errors.Is still matches either one.
+			return errors.Join(err, s.w.Flush())
 		}
 	}
 }
 
-// serveOne reads and executes a single command.
+// serveOne reads and executes a single command. The command line is
+// tokenized as byte slices into the session's reused line buffer; only
+// the cold (non-GET) verbs fall back to string fields.
+//
+//kv3d:hotpath
 func (s *Session) serveOne() error {
 	line, err := s.readLine()
 	if err != nil {
 		return err
 	}
-	if len(line) == 0 {
+	verb, rest := nextToken(line)
+	if len(verb) == 0 {
 		return s.reply(respError)
 	}
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return s.reply(respError)
-	}
-	verb := fields[0]
-	args := fields[1:]
 	if s.obs != nil && s.nowNanos != nil {
 		start := s.nowNanos()
-		err := s.dispatch(verb, args)
-		s.obs.ObserveOp(classifyVerb(verb), s.nowNanos()-start)
+		err := s.dispatch(verb, rest)
+		s.obs.ObserveOp(classifyVerbBytes(verb), s.nowNanos()-start)
 		return err
 	}
-	return s.dispatch(verb, args)
+	return s.dispatch(verb, rest)
 }
 
-// dispatch executes one parsed command.
-func (s *Session) dispatch(verb string, args []string) error {
-	switch verb {
+// dispatch executes one command. The verb comparison converts through
+// string only inside the switch, which the compiler performs without
+// allocating; cold verbs materialize their argument strings.
+//
+//kv3d:hotpath
+func (s *Session) dispatch(verb, rest []byte) error {
+	switch string(verb) {
 	case "get":
-		return s.doGet(args, false)
+		return s.doGet(rest, false)
 	case "gets":
-		return s.doGet(args, true)
+		return s.doGet(rest, true)
+	case "quit":
+		return ErrQuit
+	}
+	args := strings.Fields(string(rest)) //nolint:kv3d // store/admin verbs tolerate one parse allocation; get/gets/quit return above and never reach this line
+	switch string(verb) {
 	case "set", "add", "replace", "append", "prepend":
-		return s.doStore(verb, args, 0)
+		return s.doStore(string(verb), args, 0) //nolint:kv3d // the store mutation API is string-keyed; store-class verbs are off the measured hot path
 	case "cas":
 		return s.doCas(args)
 	case "delete":
@@ -150,15 +162,30 @@ func (s *Session) dispatch(verb string, args []string) error {
 			return nil
 		}
 		return s.reply(respOK)
-	case "quit":
-		return ErrQuit
 	default:
 		return s.reply(respError)
 	}
 }
 
-// readLine reads a \r\n-terminated command line.
-func (s *Session) readLine() (string, error) {
+// nextToken splits off the next space-delimited token (memcached's
+// separator) without allocating; both return values alias the input.
+func nextToken(b []byte) (tok, rest []byte) {
+	i := 0
+	for i < len(b) && b[i] == ' ' {
+		i++
+	}
+	j := i
+	for j < len(b) && b[j] != ' ' {
+		j++
+	}
+	return b[i:j], b[j:]
+}
+
+// readLine reads a \r\n-terminated command line. The returned slice
+// aliases the session's line buffer and is valid until the next call.
+//
+//kv3d:hotpath
+func (s *Session) readLine() ([]byte, error) {
 	s.lineBuf = s.lineBuf[:0]
 	for {
 		frag, err := s.r.ReadSlice('\n')
@@ -168,11 +195,11 @@ func (s *Session) readLine() (string, error) {
 		}
 		if err == bufio.ErrBufferFull {
 			if len(s.lineBuf) > maxLineLen {
-				return "", fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
+				return nil, fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
 			}
 			continue
 		}
-		return "", err
+		return nil, err
 	}
 	line := s.lineBuf
 	if n := len(line); n >= 2 && line[n-2] == '\r' {
@@ -181,9 +208,9 @@ func (s *Session) readLine() (string, error) {
 		line = line[:n-1] // tolerate bare \n like memcached does
 	}
 	if len(line) > maxLineLen {
-		return "", fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
+		return nil, fmt.Errorf("protocol: command line exceeds %d bytes", maxLineLen)
 	}
-	return string(line), nil
+	return line, nil
 }
 
 func (s *Session) reply(msg string) error {
@@ -202,27 +229,41 @@ func wantsNoReply(args []string) bool {
 	return len(args) > 0 && args[len(args)-1] == "noreply"
 }
 
-func (s *Session) doGet(keys []string, withCAS bool) error {
-	if len(keys) == 0 {
+// doGet serves get/gets, the measured hot path of the ASCII protocol.
+// It must not allocate: keys stay byte slices of the command line,
+// values copy into the reused valBuf, and the response header is
+// assembled with strconv.Append into the reused numBuf (intermediate
+// bufio writes lean on the sticky-error contract; Flush reports).
+//
+//kv3d:hotpath
+func (s *Session) doGet(rest []byte, withCAS bool) error {
+	key, rest := nextToken(rest)
+	if len(key) == 0 {
 		return s.reply(respError)
 	}
-	for _, key := range keys {
+	for len(key) > 0 {
 		s.valBuf = s.valBuf[:0]
-		out, e, ok := s.store.GetInto(s.valBuf, key)
+		out, e, ok := s.store.GetIntoBytes(s.valBuf, key)
 		s.valBuf = out[:0]
-		if !ok {
-			continue
+		if ok {
+			s.w.WriteString("VALUE ")
+			s.w.Write(key)
+			b := append(s.numBuf[:0], ' ')
+			b = strconv.AppendUint(b, uint64(e.Flags), 10)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(len(out)), 10)
+			if withCAS {
+				b = append(b, ' ')
+				b = strconv.AppendUint(b, e.CAS, 10)
+			}
+			s.numBuf = append(b, '\r', '\n')
+			s.w.Write(s.numBuf)
+			s.w.Write(out)
+			s.w.WriteString("\r\n")
 		}
-		if withCAS {
-			fmt.Fprintf(s.w, "VALUE %s %d %d %d\r\n", key, e.Flags, len(out), e.CAS)
-		} else {
-			fmt.Fprintf(s.w, "VALUE %s %d %d\r\n", key, e.Flags, len(out))
-		}
-		s.w.Write(out)
-		s.w.WriteString("\r\n")
+		key, rest = nextToken(rest)
 	}
-	_, err := s.w.WriteString(respEnd)
-	if err != nil {
+	if _, err := s.w.WriteString(respEnd); err != nil {
 		return err
 	}
 	return s.w.Flush()

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -308,5 +309,30 @@ func TestStatsReset(t *testing.T) {
 func TestStatsUnknownSubcommand(t *testing.T) {
 	if out := run(t, nil, "stats bogus\r\n"); !strings.HasPrefix(out, "CLIENT_ERROR") {
 		t.Fatalf("stats bogus: %q", out)
+	}
+}
+
+// brokenPipeRW reads a canned request and fails every write, standing
+// in for a client that vanished before the response went out.
+type brokenPipeRW struct {
+	in *bytes.Reader
+}
+
+func (b *brokenPipeRW) Read(p []byte) (int, error) { return b.in.Read(p) }
+func (b *brokenPipeRW) Write(p []byte) (int, error) {
+	return 0, errors.New("broken pipe")
+}
+
+// TestServeSurfacesFlushError pins a fix found by the kv3d-lint errdrop
+// check: Serve used to drop the final Flush result, so a response that
+// never reached the client looked like a clean session.
+func TestServeSurfacesFlushError(t *testing.T) {
+	sess := NewSession(newStore(t), &brokenPipeRW{in: bytes.NewReader([]byte("version\r\n"))})
+	err := sess.Serve()
+	if err == nil {
+		t.Fatal("Serve returned nil although the response flush failed")
+	}
+	if !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("Serve error %q does not surface the write failure", err)
 	}
 }

@@ -108,6 +108,12 @@ type Result struct {
 	PerStack []StackStats
 }
 
+// recordPs is the one sanctioned crossing from kernel time into the
+// unit-blind histogram layer: samples are recorded in picoseconds.
+func recordPs(h *metrics.Histogram, d sim.Duration) {
+	h.Record(int64(d.Ps()))
+}
+
 // Run executes the experiment.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Stack.Validate(); err != nil {
@@ -245,11 +251,11 @@ func Run(cfg Config) (Result, error) {
 					tr.AsyncEnd("req", "request", rid, info.Completed)
 				}
 				if start >= warmEnd && start < end {
-					hist.Record(int64(done.Sub(start)))
-					waitAll.Record(int64(info.Wait()))
-					serviceAll.Record(int64(info.Service()))
-					waitHists[idx].Record(int64(info.Wait()))
-					serviceHists[idx].Record(int64(info.Service()))
+					recordPs(hist, done.Sub(start))
+					recordPs(waitAll, info.Wait())
+					recordPs(serviceAll, info.Service())
+					recordPs(waitHists[idx], info.Wait())
+					recordPs(serviceHists[idx], info.Service())
 					perStackCompleted[idx]++
 				}
 				// Throughput counts completions inside the window —
@@ -301,7 +307,7 @@ func Run(cfg Config) (Result, error) {
 		Latency:            hist.Summarize(),
 		QueueWait:          waitAll.Summarize(),
 		Service:            serviceAll.Summarize(),
-		SubMsFraction:      hist.FractionBelow(int64(sim.Millisecond)),
+		SubMsFraction:      hist.FractionBelow(int64(sim.Millisecond.Ps())),
 		HottestUtilization: maxU,
 		MeanUtilization:    sumU / float64(len(stacks)),
 		Arrivals:           arrivalCount,

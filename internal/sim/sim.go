@@ -194,7 +194,11 @@ func (s *Simulator) Cancel(id EventID) bool {
 	return true
 }
 
-// Step executes the single next event, if any, and reports whether one ran.
+// Step executes the single next event, if any, and reports whether one
+// ran. It is the kernel's event-dispatch hot path: every simulated
+// event in every experiment funnels through here.
+//
+//kv3d:hotpath
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false

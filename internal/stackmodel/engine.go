@@ -158,11 +158,11 @@ func (st *Stack) serviceOnCore(op Op, valueBytes int64) sim.Duration {
 // (DRAM yes, Flash no).
 func (st *Stack) stallTime(l1Misses float64) sim.Duration {
 	c := st.cfg
-	lookup := sim.Duration(float64(c.Core.CyclePeriod()) * c.Cache.L2LatencyCycles)
+	lookup := c.Core.CycleTime(c.Cache.L2LatencyCycles)
 	l2Served, memBound := c.Cache.Split(l1Misses)
 	memLat := c.Mem.ReadLatency()
-	l2Stall := sim.Duration(float64(lookup) * l2Served)
-	memStall := sim.Duration((float64(lookup) + float64(memLat)) * memBound)
+	l2Stall := sim.Ps(float64(lookup.Ps()) * l2Served).Duration()
+	memStall := sim.Ps(float64((lookup + memLat).Ps()) * memBound).Duration()
 	return c.Core.StallTimeAt(l2Stall, lookup) + c.Core.StallTimeAt(memStall, memLat)
 }
 
@@ -178,7 +178,7 @@ func (st *Stack) portOccupancy(op Op, valueBytes int64) sim.Duration {
 		if op == Put {
 			trips = costs.DRAMPutTrips
 		}
-		t = sim.Duration(trips * float64(mem.ReadLatency()))
+		t = sim.Ps(trips * float64(mem.ReadLatency().Ps())).Duration()
 		if op == Get {
 			t += mem.StreamTime(valueBytes)
 		} else {
@@ -186,7 +186,7 @@ func (st *Stack) portOccupancy(op Op, valueBytes int64) sim.Duration {
 		}
 	case memmodel.KindFlash:
 		if op == Get {
-			t = sim.Duration(costs.FlashGetReads*float64(mem.ReadLatency())) +
+			t = sim.Ps(costs.FlashGetReads*float64(mem.ReadLatency().Ps())).Duration() +
 				mem.StreamTime(valueBytes)
 		} else {
 			programs := costs.FlashPutPrograms
@@ -194,8 +194,8 @@ func (st *Stack) portOccupancy(op Op, valueBytes int64) sim.Duration {
 			if extra := memmodel.PagesFor(valueBytes) - 1; extra > 0 {
 				programs += float64(extra)
 			}
-			t = sim.Duration(costs.FlashPutReads*float64(mem.ReadLatency())) +
-				sim.Duration(programs*float64(mem.WriteLatency()))
+			t = sim.Ps(costs.FlashPutReads*float64(mem.ReadLatency().Ps())).Duration() +
+				sim.Ps(programs*float64(mem.WriteLatency().Ps())).Duration()
 		}
 	}
 	return t
@@ -305,7 +305,7 @@ func (st *Stack) collectResult(start sim.Time, clients int) (Result, error) {
 	}
 	hist := metrics.NewHistogram()
 	for _, r := range rtts {
-		hist.Record(int64(r.Duration))
+		hist.Record(int64(r.Duration.Ps()))
 	}
 	mean := trace.MeanRTT(rtts)
 	span := st.simr.Now().Sub(start)

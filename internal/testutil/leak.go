@@ -1,0 +1,51 @@
+// Package testutil holds small helpers shared by the live-path tests.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long CheckGoroutines waits for goroutines
+// started during a test to wind down before declaring a leak. Server
+// close paths hand connections a deadline and join their handlers, so
+// two seconds is generous; a true leak never settles.
+const settleTimeout = 2 * time.Second
+
+// CheckGoroutines snapshots the current goroutine count and registers
+// a cleanup that fails the test if the count has not settled back by
+// the time the test (and any cleanups registered after this call, such
+// as server Close hooks — t.Cleanup runs LIFO) has finished.
+//
+// Call it first in tests or helpers that start servers, listeners, or
+// background clients:
+//
+//	func startServer(t *testing.T) (*Server, string) {
+//		testutil.CheckGoroutines(t)
+//		...
+//		t.Cleanup(func() { srv.Close() })
+//	}
+//
+// The comparison is against the process-wide runtime.NumGoroutine, so
+// tests using it must not run in parallel with tests that start or
+// stop goroutines of their own.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settleTimeout)
+		n := runtime.NumGoroutine()
+		for n > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d before the test, %d still running after %v\n\n%s",
+					before, n, settleTimeout, buf)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// A goroutine that exits shortly after the test body must not trip the
+// check: the settle loop exists precisely for close paths that finish
+// asynchronously.
+func TestCheckGoroutinesSettles(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	_ = done
+}
+
+// The happy path: nothing started, nothing flagged.
+func TestCheckGoroutinesClean(t *testing.T) {
+	CheckGoroutines(t)
+}
