@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kv3d/internal/cluster"
+	"kv3d/internal/faults"
 	"kv3d/internal/obs"
 	"kv3d/internal/sim"
 	"kv3d/internal/workload"
@@ -37,11 +38,21 @@ type Config struct {
 	// a diverging counter lane is a hot stack forming.
 	Trace *obs.Tracer
 	// Probes, when non-nil, receives "clustersim.<stack>.requests"
-	// counters plus "clustersim.requests" for the total.
+	// counters plus "clustersim.requests" for the total (and
+	// "clustersim.faults.*" when a plan is set).
 	Probes *obs.Registry
 	// SampleEveryRequests is the counter-sampling stride (default:
 	// Requests/100, at least 1).
 	SampleEveryRequests int
+
+	// Faults, when non-nil, replays the plan's stack events on the
+	// experiment's synthetic time axis (request i happens at i
+	// microseconds): StackFail/NodeDown removes the target from the
+	// ring, StackDegrade scales its capacity to Arg percent,
+	// StackRecover/NodeUp restores it. Live-only kinds (resets, stalls,
+	// latency, UDP drops) are ignored here. A nil plan adds no work and
+	// changes no output, so existing golden results are untouched.
+	Faults *faults.Plan
 }
 
 // Result reports the distribution outcome.
@@ -56,6 +67,18 @@ type Result struct {
 	// EffectiveThroughputFraction is 1/Imbalance: the fraction of
 	// aggregate capacity usable before the hottest stack saturates.
 	EffectiveThroughputFraction float64
+
+	// FailedStacks and DegradedStacks count stacks failed or degraded
+	// when the run ended (0 without a fault plan).
+	FailedStacks   int
+	DegradedStacks int
+	// SurvivingCapacityFraction is the end-of-run sum of per-stack
+	// capacity factors (failed = 0, degraded = Arg%) over the stack
+	// count; 1.0 means full health.
+	SurvivingCapacityFraction float64
+	// LostRequests counts requests that found an empty ring (every
+	// stack failed at once).
+	LostRequests int
 }
 
 // Run executes the distribution experiment.
@@ -95,12 +118,47 @@ func Run(cfg Config) (Result, error) {
 			stride = 1
 		}
 	}
+	// Fault state: capacity factor per stack (1 = healthy, 0 = failed)
+	// and the plan cursor. All nil/empty when no plan is configured, so
+	// the healthy path does no extra work.
+	var sched *faults.Schedule
+	capacity := map[string]float64{}
+	down := map[string]bool{}
+	applied, lost := 0, 0
+	if cfg.Faults != nil {
+		sched = cfg.Faults.Schedule()
+		for _, name := range names {
+			capacity[name] = 1
+		}
+	}
 	perStack := make(map[string]int, cfg.Stacks)
 	for i := 0; i < cfg.Requests; i++ {
+		if sched != nil {
+			for _, ev := range sched.Due(sim.Duration(i) * sim.Microsecond) {
+				applied++
+				switch ev.Kind {
+				case faults.StackFail, faults.NodeDown:
+					if !down[ev.Target] {
+						down[ev.Target] = true
+						ring.Remove(ev.Target)
+					}
+				case faults.StackDegrade:
+					capacity[ev.Target] = float64(ev.Arg) / 100
+				case faults.StackRecover, faults.NodeUp:
+					if down[ev.Target] {
+						down[ev.Target] = false
+						ring.Add(ev.Target)
+					}
+					capacity[ev.Target] = 1
+				}
+			}
+		}
 		req := gen.Next()
 		node, err := ring.Locate(req.Key)
 		if err != nil {
-			return Result{}, err
+			// Only reachable when a plan failed every stack at once.
+			lost++
+			continue
 		}
 		perStack[node]++
 		if cfg.Trace.Enabled() && (i+1)%stride == 0 {
@@ -120,21 +178,86 @@ func Run(cfg Config) (Result, error) {
 		for _, name := range names {
 			cfg.Probes.Counter("clustersim." + name + ".requests").Add(int64(perStack[name]))
 		}
+		if cfg.Faults != nil {
+			cfg.Probes.Counter("clustersim.faults.applied").Add(int64(applied))
+			cfg.Probes.Counter("clustersim.faults.lost_requests").Add(int64(lost))
+		}
 	}
+	survCap := 1.0
+	failedCount, degradedCount := 0, 0
+	if cfg.Faults != nil {
+		sum := 0.0
+		for _, name := range names {
+			c := capacity[name]
+			switch {
+			case down[name]:
+				c = 0
+				failedCount++
+			case c < 1:
+				degradedCount++
+			}
+			sum += c
+		}
+		survCap = sum / float64(cfg.Stacks)
+	}
+	served := cfg.Requests - lost
 	maxLoad := 0
 	for _, n := range perStack {
 		if n > maxLoad {
 			maxLoad = n
 		}
 	}
-	mean := float64(cfg.Requests) / float64(cfg.Stacks)
-	imb := float64(maxLoad) / mean
-	return Result{
-		PerStack:                    perStack,
-		Imbalance:                   imb,
-		HottestShare:                float64(maxLoad) / float64(cfg.Requests),
-		EffectiveThroughputFraction: 1 / imb,
-	}, nil
+	res := Result{
+		PerStack:                  perStack,
+		FailedStacks:              failedCount,
+		DegradedStacks:            degradedCount,
+		SurvivingCapacityFraction: survCap,
+		LostRequests:              lost,
+	}
+	if served > 0 {
+		mean := float64(served) / float64(cfg.Stacks)
+		res.Imbalance = float64(maxLoad) / mean
+		res.HottestShare = float64(maxLoad) / float64(served)
+		res.EffectiveThroughputFraction = 1 / res.Imbalance
+	}
+	return res, nil
+}
+
+// SweepPoint is one entry of a FailureSweep: the distribution outcome
+// with Failed stacks removed for the whole run.
+type SweepPoint struct {
+	Failed int
+	Result Result
+}
+
+// FailureSweep quantifies capacity after k of n stack failures — the
+// paper's resilience question for a 96-stack box. For each k in
+// 0..maxFailed it fails stacks 0..k-1 from the start of the run and
+// reruns the distribution experiment: consistent hashing keeps the
+// remapping local, but the hottest surviving stack still sets the
+// throughput ceiling, so EffectiveThroughputFraction shows the real
+// capacity left, not just (n-k)/n.
+func FailureSweep(cfg Config, maxFailed int) ([]SweepPoint, error) {
+	if maxFailed < 0 || maxFailed >= cfg.Stacks {
+		return nil, fmt.Errorf("clustersim: maxFailed %d out of range [0, %d)", maxFailed, cfg.Stacks)
+	}
+	points := make([]SweepPoint, 0, maxFailed+1)
+	for k := 0; k <= maxFailed; k++ {
+		c := cfg
+		c.Trace = nil // one trace per sweep would be meaningless; callers trace single runs
+		plan := &faults.Plan{Horizon: sim.Duration(cfg.Requests) * sim.Microsecond}
+		for i := 0; i < k; i++ {
+			plan.Events = append(plan.Events, faults.Event{
+				Kind: faults.StackFail, Target: fmt.Sprintf("stack-%02d", i)})
+		}
+		c.Faults = plan
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Failed: k, Result: r})
+	}
+	return points, nil
 }
 
 // HotKeyBound returns the load imbalance floor imposed by the single

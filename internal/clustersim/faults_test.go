@@ -1,0 +1,261 @@
+package clustersim
+
+import (
+	"testing"
+
+	"kv3d/internal/faults"
+	"kv3d/internal/obs"
+	"kv3d/internal/sim"
+)
+
+func faultCfg(requests int) Config {
+	return Config{
+		Stacks:       8,
+		VirtualNodes: 128,
+		Keys:         20_000,
+		Requests:     requests,
+		Seed:         11,
+	}
+}
+
+// TestNilPlanUnchanged pins fault hooks to zero cost: a nil plan must
+// produce byte-for-byte the same distribution as the seed code path.
+func TestNilPlanUnchanged(t *testing.T) {
+	a, err := Run(faultCfg(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgEmpty := faultCfg(20_000)
+	cfgEmpty.Faults = &faults.Plan{Horizon: sim.Second}
+	b, err := Run(cfgEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range a.PerStack {
+		if b.PerStack[name] != n {
+			t.Fatalf("empty plan changed %s: %d vs %d", name, b.PerStack[name], n)
+		}
+	}
+	if a.FailedStacks != 0 || b.FailedStacks != 0 || b.LostRequests != 0 {
+		t.Fatalf("healthy run reported faults: %+v vs %+v", a, b)
+	}
+	if b.SurvivingCapacityFraction != 1.0 {
+		t.Fatalf("healthy capacity = %v, want 1.0", b.SurvivingCapacityFraction)
+	}
+}
+
+// TestStackFailRedistributes: a failed stack receives no traffic after
+// its failure point, and its keys land on survivors.
+func TestStackFailRedistributes(t *testing.T) {
+	cfg := faultCfg(20_000)
+	reg := obs.NewRegistry()
+	cfg.Probes = reg
+	// Fail stack-03 halfway through the run (request 10k = 10ms on the
+	// synthetic axis).
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 10_000 * sim.Microsecond, Kind: faults.StackFail, Target: "stack-03"},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FailedStacks != 1 {
+		t.Fatalf("FailedStacks = %d, want 1", r.FailedStacks)
+	}
+	if r.LostRequests != 0 {
+		t.Fatalf("LostRequests = %d with 7 survivors", r.LostRequests)
+	}
+	want := 1.0 - 1.0/8
+	if r.SurvivingCapacityFraction != want {
+		t.Fatalf("SurvivingCapacityFraction = %v, want %v", r.SurvivingCapacityFraction, want)
+	}
+	// The failed stack served roughly half its healthy share.
+	healthy, err := Run(faultCfg(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerStack["stack-03"] >= healthy.PerStack["stack-03"] {
+		t.Fatalf("failed stack served %d, healthy %d — failure had no effect",
+			r.PerStack["stack-03"], healthy.PerStack["stack-03"])
+	}
+	total := 0
+	for _, n := range r.PerStack {
+		total += n
+	}
+	if total != cfg.Requests {
+		t.Fatalf("served %d of %d requests", total, cfg.Requests)
+	}
+	if v := probeValue(reg, "clustersim.faults.applied"); v != 1 {
+		t.Fatalf("faults.applied = %v, want 1", v)
+	}
+}
+
+// TestRecoverRestoresTraffic: a failed stack that recovers resumes
+// serving its arc.
+func TestRecoverRestoresTraffic(t *testing.T) {
+	cfg := faultCfg(30_000)
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 0, Kind: faults.StackFail, Target: "stack-02"},
+			{At: 10_000 * sim.Microsecond, Kind: faults.StackRecover, Target: "stack-02"},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FailedStacks != 0 {
+		t.Fatalf("FailedStacks = %d after recovery, want 0", r.FailedStacks)
+	}
+	if r.SurvivingCapacityFraction != 1.0 {
+		t.Fatalf("capacity after recovery = %v, want 1.0", r.SurvivingCapacityFraction)
+	}
+	if r.PerStack["stack-02"] == 0 {
+		t.Fatal("recovered stack served nothing")
+	}
+}
+
+// TestDegradeCountsAndCapacity: degradation shows up in the capacity
+// summary without removing the stack from the ring.
+func TestDegradeCountsAndCapacity(t *testing.T) {
+	cfg := faultCfg(10_000)
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 0, Kind: faults.StackDegrade, Target: "stack-05", Arg: 40},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DegradedStacks != 1 || r.FailedStacks != 0 {
+		t.Fatalf("degraded=%d failed=%d, want 1/0", r.DegradedStacks, r.FailedStacks)
+	}
+	want := (7.0 + 0.4) / 8
+	if diff := r.SurvivingCapacityFraction - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("capacity = %v, want %v", r.SurvivingCapacityFraction, want)
+	}
+	if r.PerStack["stack-05"] == 0 {
+		t.Fatal("degraded stack must keep serving (only failed stacks leave the ring)")
+	}
+}
+
+// TestAllStacksDownLosesRequests: requests that find an empty ring are
+// counted lost, not silently dropped.
+func TestAllStacksDownLosesRequests(t *testing.T) {
+	cfg := faultCfg(1000)
+	cfg.Stacks = 2
+	plan := &faults.Plan{Horizon: sim.Duration(cfg.Requests) * sim.Microsecond}
+	plan.Events = []faults.Event{
+		{At: 0, Kind: faults.StackFail, Target: "stack-00"},
+		{At: 0, Kind: faults.StackFail, Target: "stack-01"},
+		{At: 500 * sim.Microsecond, Kind: faults.StackRecover, Target: "stack-00"},
+	}
+	cfg.Faults = plan
+	reg := obs.NewRegistry()
+	cfg.Probes = reg
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostRequests != 500 {
+		t.Fatalf("LostRequests = %d, want 500 (requests 0..499)", r.LostRequests)
+	}
+	if v := probeValue(reg, "clustersim.faults.lost_requests"); v != 500 {
+		t.Fatalf("lost_requests probe = %v, want 500", v)
+	}
+	if r.PerStack["stack-00"] != 500 {
+		t.Fatalf("survivor served %d, want 500", r.PerStack["stack-00"])
+	}
+}
+
+// TestFaultRunsDeterministic: identical config and plan give identical
+// results — the property the chaos suite leans on.
+func TestFaultRunsDeterministic(t *testing.T) {
+	gen := faults.GenConfig{
+		Seed:    77,
+		Targets: []string{"stack-00", "stack-01", "stack-02", "stack-03"},
+		Horizon: 20 * sim.Millisecond,
+		Kinds:   []faults.Kind{faults.StackFail, faults.StackDegrade},
+	}
+	run := func() Result {
+		plan, err := faults.Generate(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultCfg(20_000)
+		cfg.Faults = plan
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for name, n := range a.PerStack {
+		if b.PerStack[name] != n {
+			t.Fatalf("replay diverged on %s: %d vs %d", name, n, b.PerStack[name])
+		}
+	}
+	if a.LostRequests != b.LostRequests || a.FailedStacks != b.FailedStacks {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestFailureSweep covers the paper's resilience question: capacity
+// after k of n stack failures.
+func TestFailureSweep(t *testing.T) {
+	if _, err := FailureSweep(faultCfg(1000), 8); err == nil {
+		t.Fatal("maxFailed == Stacks accepted")
+	}
+	points, err := FailureSweep(faultCfg(20_000), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d points, want 5", len(points))
+	}
+	for i, p := range points {
+		if p.Failed != i {
+			t.Fatalf("point %d labelled Failed=%d", i, p.Failed)
+		}
+		if p.Result.FailedStacks != i {
+			t.Fatalf("point %d reports %d failed stacks", i, p.Result.FailedStacks)
+		}
+		if p.Result.LostRequests != 0 {
+			t.Fatalf("point %d lost %d requests with survivors present", i, p.Result.LostRequests)
+		}
+		wantCap := 1.0 - float64(i)/8
+		if diff := p.Result.SurvivingCapacityFraction - wantCap; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("point %d capacity %v, want %v", i, p.Result.SurvivingCapacityFraction, wantCap)
+		}
+	}
+	// Failed-from-request-0 stacks serve nothing for the whole run.
+	for i := 1; i < len(points); i++ {
+		for k := 0; k < i; k++ {
+			name := stackName(k)
+			if n := points[i].Result.PerStack[name]; n != 0 {
+				t.Fatalf("sweep point %d: failed %s served %d requests", i, name, n)
+			}
+		}
+	}
+}
+
+func stackName(i int) string {
+	return []string{"stack-00", "stack-01", "stack-02", "stack-03", "stack-04",
+		"stack-05", "stack-06", "stack-07"}[i]
+}
+
+func probeValue(reg *obs.Registry, name string) float64 {
+	for _, p := range reg.Snapshot() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}

@@ -25,11 +25,37 @@ var (
 	ErrProtocol  = errors.New("kvclient: protocol error")
 )
 
+// ErrBusy is the load-shedding refusal ("SERVER_ERROR busy"): the node
+// is alive but over its in-flight cap. It wraps ErrServer, so existing
+// error checks still match; retry logic treats it as retryable but not
+// as evidence the node is down.
+var ErrBusy = fmt.Errorf("%w: busy", ErrServer)
+
+// Options tunes a Client beyond the bare connection.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// OpTimeout bounds each protocol operation: the connection's read
+	// and write deadlines are re-armed at the start of every request and
+	// response, so a stalled or dead server surfaces as a timeout error
+	// instead of a hung goroutine. Zero means no deadline (the seed
+	// behaviour).
+	OpTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // Client is a single-connection memcached client.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	opTimeout time.Duration
 }
 
 // Dial connects to a memcached server address.
@@ -39,33 +65,73 @@ func Dial(addr string) (*Client, error) {
 
 // DialTimeout connects with a dial timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOptions(addr, Options{DialTimeout: timeout})
+}
+
+// DialOptions connects with full option control.
+func DialOptions(addr string, o Options) (*Client, error) {
+	o = o.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClientOptions(conn, o), nil
 }
 
 // NewClient wraps an existing connection.
 func NewClient(conn net.Conn) *Client {
+	return NewClientOptions(conn, Options{})
+}
+
+// NewClientOptions wraps an existing connection with options applied.
+func NewClientOptions(conn net.Conn, o Options) *Client {
 	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
+		conn:      conn,
+		r:         bufio.NewReaderSize(conn, 64<<10),
+		w:         bufio.NewWriterSize(conn, 64<<10),
+		opTimeout: o.OpTimeout,
 	}
+}
+
+// armRead re-arms the read deadline for the next response read. Called
+// before every read so a multi-line response gets a fresh budget per
+// read, not one shared budget for the whole operation.
+func (c *Client) armRead() {
+	if c.opTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opTimeout)) //nolint:kv3d // deadline arming cannot usefully fail mid-op; the read reports any connection error
+	}
+}
+
+// armWrite arms the write deadline before buffering a request whose
+// bytes can spill to the connection before flush (a value larger than
+// the buffer flushes mid-Write).
+func (c *Client) armWrite() {
+	if c.opTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opTimeout)) //nolint:kv3d // deadline arming cannot usefully fail mid-op; the write reports any connection error
+	}
+}
+
+// flush arms the write deadline and flushes the buffered request.
+func (c *Client) flush() error {
+	if c.opTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opTimeout)) //nolint:kv3d // deadline arming cannot usefully fail mid-op; the flush reports any connection error
+	}
+	return c.w.Flush()
 }
 
 // Close sends quit and closes the connection. A flush failure is
 // reported alongside the close result: the quit is best-effort, but a
 // caller diagnosing a broken connection needs to see the write error,
-// not just the close status.
+// not just the close status. With OpTimeout set the farewell flush is
+// bounded, so Close cannot hang on a stalled peer.
 func (c *Client) Close() error {
 	fmt.Fprint(c.w, "quit\r\n")
-	ferr := c.w.Flush()
+	ferr := c.flush()
 	return errors.Join(ferr, c.conn.Close())
 }
 
 func (c *Client) readLine() (string, error) {
+	c.armRead()
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return "", err
@@ -79,6 +145,8 @@ func classify(line string) error {
 		return ErrProtocol
 	case strings.HasPrefix(line, "CLIENT_ERROR"):
 		return fmt.Errorf("%w: %s", ErrClient, line)
+	case line == "SERVER_ERROR busy":
+		return ErrBusy
 	case strings.HasPrefix(line, "SERVER_ERROR"):
 		return fmt.Errorf("%w: %s", ErrServer, line)
 	default:
@@ -95,6 +163,7 @@ type Item struct {
 }
 
 func (c *Client) store(verb, key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	c.armWrite()
 	if verb == "cas" {
 		fmt.Fprintf(c.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas)
 	} else {
@@ -102,7 +171,7 @@ func (c *Client) store(verb, key string, value []byte, flags uint32, exptime int
 	}
 	c.w.Write(value)
 	c.w.WriteString("\r\n")
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	line, err := c.readLine()
@@ -192,8 +261,9 @@ func (c *Client) GetMulti(keys []string) (map[string]Item, error) {
 }
 
 func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
+	c.armWrite()
 	fmt.Fprintf(c.w, "%s %s\r\n", verb, strings.Join(keys, " "))
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, err
 	}
 	var items []Item
@@ -225,6 +295,7 @@ func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
 			}
 		}
 		buf := make([]byte, n+2)
+		c.armRead()
 		if _, err := io.ReadFull(c.r, buf); err != nil {
 			return nil, err
 		}
@@ -235,7 +306,7 @@ func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
 // Delete removes a key.
 func (c *Client) Delete(key string) error {
 	fmt.Fprintf(c.w, "delete %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	line, err := c.readLine()
@@ -264,7 +335,7 @@ func (c *Client) Decr(key string, delta uint64) (uint64, error) {
 
 func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
 	fmt.Fprintf(c.w, "%s %s %d\r\n", verb, key, delta)
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return 0, err
 	}
 	line, err := c.readLine()
@@ -284,7 +355,7 @@ func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
 // Touch updates a key's TTL.
 func (c *Client) Touch(key string, exptime int64) error {
 	fmt.Fprintf(c.w, "touch %s %d\r\n", key, exptime)
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	line, err := c.readLine()
@@ -308,7 +379,7 @@ func (c *Client) FlushAll(delay int64) error {
 	} else {
 		fmt.Fprint(c.w, "flush_all\r\n")
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
 	line, err := c.readLine()
@@ -324,7 +395,7 @@ func (c *Client) FlushAll(delay int64) error {
 // Stats fetches the server's STAT map.
 func (c *Client) Stats() (map[string]string, error) {
 	fmt.Fprint(c.w, "stats\r\n")
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, err
 	}
 	out := make(map[string]string)
@@ -347,7 +418,7 @@ func (c *Client) Stats() (map[string]string, error) {
 // Version queries the server version string.
 func (c *Client) Version() (string, error) {
 	fmt.Fprint(c.w, "version\r\n")
-	if err := c.w.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return "", err
 	}
 	line, err := c.readLine()

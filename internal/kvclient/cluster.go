@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"kv3d/internal/cluster"
+	"kv3d/internal/obs"
+	"kv3d/internal/sim"
 )
 
 // ClusterClient routes memcached operations across many servers with a
@@ -14,13 +16,52 @@ import (
 // where every stack is an independent node (§3.8). Writes optionally
 // replicate to R nodes; reads fall through replicas on miss or node
 // failure.
+//
+// On top of routing it carries the resilience layer: per-operation
+// retries with exponential backoff and full jitter, and a per-node
+// circuit breaker — a node that fails EjectAfter consecutive transport
+// operations is removed from the ring, then re-admitted on probation
+// after Probation elapses (one more failure re-ejects it immediately).
+// Both the backoff's randomness and its sleeps are injectable, so the
+// chaos suite runs the whole layer deterministically.
+//
+// ClusterClient is safe for concurrent use: each node's connection is
+// serialized by its own mutex, so goroutines contend only when they
+// target the same node.
 type ClusterClient struct {
 	ring     *cluster.Ring
 	replicas int
 
+	maxRetries int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+	ejectAfter int
+	probation  time.Duration
+
+	sleep  func(time.Duration)
+	jitter func() float64
+	probes *obs.Registry
+
+	// mu guards nodes' membership and health fields (fails, ejected,
+	// retryAt) plus the jitter rng; each nodeState.mu guards only that
+	// node's connection. Never acquire a nodeState.mu while holding mu.
 	mu    sync.Mutex
-	conns map[string]*Client
+	nodes map[string]*nodeState
+	rng   *sim.Rand
 	dial  func(addr string) (*Client, error)
+}
+
+// nodeState is one node's connection and circuit-breaker health.
+type nodeState struct {
+	// mu serializes protocol operations on the node's single connection
+	// (a Client is not safe for concurrent use).
+	mu   sync.Mutex
+	conn *Client
+
+	// Health fields below are guarded by ClusterClient.mu, not mu.
+	fails   int       // consecutive transport failures
+	ejected bool      // removed from the ring by the breaker
+	retryAt time.Time // when probation ends and the node may return
 }
 
 // ClusterConfig configures a ClusterClient.
@@ -33,6 +74,42 @@ type ClusterConfig struct {
 	VirtualNodes int
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+	// OpTimeout bounds each protocol operation on a node (see
+	// Options.OpTimeout). Zero disables per-op deadlines.
+	OpTimeout time.Duration
+
+	// MaxRetries is how many times a failed operation is retried after
+	// its first attempt (default 3; negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 2ms). The
+	// attempt-n ceiling is RetryBaseDelay << n, capped at RetryMaxDelay,
+	// and the actual sleep is uniform in [0, ceiling) — "full jitter",
+	// which decorrelates clients hammering a recovering node.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff sleep (default 250ms).
+	RetryMaxDelay time.Duration
+
+	// EjectAfter is the consecutive-transport-failure threshold at which
+	// a node is removed from the ring (default 3; negative disables
+	// ejection).
+	EjectAfter int
+	// Probation is how long an ejected node stays out before being
+	// re-admitted on probation (default 1s).
+	Probation time.Duration
+
+	// Seed drives the backoff jitter (default 1). Two clients with
+	// different seeds jitter differently; the same seed replays the
+	// same backoff sequence.
+	Seed uint64
+	// Sleep replaces the backoff sleep (default time.Sleep). Tests
+	// inject a recorder to assert the schedule without waiting it out.
+	Sleep func(time.Duration)
+	// Jitter replaces the backoff jitter draw, which must return values
+	// in [0, 1). Default: a seeded deterministic generator.
+	Jitter func() float64
+	// Probes optionally receives kvclient.* counters (retries,
+	// transport_errors, busy, ejections, readmissions, failovers).
+	Probes *obs.Registry
 }
 
 // ErrNoNodes is returned when the ring is empty.
@@ -46,65 +123,236 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
-	timeout := cfg.DialTimeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 2 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if cfg.EjectAfter == 0 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.Probation <= 0 {
+		cfg.Probation = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	opts := Options{DialTimeout: cfg.DialTimeout, OpTimeout: cfg.OpTimeout}
 	c := &ClusterClient{
-		ring:     cluster.NewRing(cfg.VirtualNodes),
-		replicas: cfg.Replicas,
-		conns:    make(map[string]*Client),
+		ring:       cluster.NewRing(cfg.VirtualNodes),
+		replicas:   cfg.Replicas,
+		maxRetries: cfg.MaxRetries,
+		baseDelay:  cfg.RetryBaseDelay,
+		maxDelay:   cfg.RetryMaxDelay,
+		ejectAfter: cfg.EjectAfter,
+		probation:  cfg.Probation,
+		sleep:      cfg.Sleep,
+		jitter:     cfg.Jitter,
+		probes:     cfg.Probes,
+		nodes:      make(map[string]*nodeState),
+		rng:        sim.NewRand(cfg.Seed),
 		dial: func(addr string) (*Client, error) {
-			return DialTimeout(addr, timeout)
+			return DialOptions(addr, opts)
 		},
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	if c.jitter == nil {
+		c.jitter = c.seededJitter
 	}
 	for _, a := range cfg.Addrs {
 		c.ring.Add(a)
+		c.nodes[a] = &nodeState{}
 	}
 	return c, nil
 }
 
+// seededJitter draws from the client's deterministic rng (guarded by mu
+// — concurrent goroutines interleave draws, but every value still comes
+// from the seeded sequence).
+func (c *ClusterClient) seededJitter() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *ClusterClient) count(name string) {
+	if c.probes != nil {
+		c.probes.Counter(name).Add(1)
+	}
+}
+
 // AddNode inserts a server into the ring (idempotent).
-func (c *ClusterClient) AddNode(addr string) { c.ring.Add(addr) }
+func (c *ClusterClient) AddNode(addr string) {
+	c.mu.Lock()
+	if _, ok := c.nodes[addr]; !ok {
+		c.nodes[addr] = &nodeState{}
+	}
+	c.mu.Unlock()
+	c.ring.Add(addr)
+}
 
 // RemoveNode drops a server from the ring and closes its connection.
 func (c *ClusterClient) RemoveNode(addr string) {
 	c.ring.Remove(addr)
 	c.mu.Lock()
-	if conn, ok := c.conns[addr]; ok {
-		conn.Close()
-		delete(c.conns, addr)
-	}
+	ns := c.nodes[addr]
+	delete(c.nodes, addr)
 	c.mu.Unlock()
+	if ns != nil {
+		ns.mu.Lock()
+		if ns.conn != nil {
+			ns.conn.Close() //nolint:kv3d // teardown of a node being removed; the op path reports live errors
+			ns.conn = nil
+		}
+		ns.mu.Unlock()
+	}
 }
 
 // Nodes lists the current ring members.
 func (c *ClusterClient) Nodes() []string { return c.ring.Nodes() }
 
-// conn returns (dialing if needed) the connection for a node.
-func (c *ClusterClient) conn(addr string) (*Client, error) {
+// node returns the state for addr, creating it if the node was added
+// behind our back.
+func (c *ClusterClient) node(addr string) *nodeState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if conn, ok := c.conns[addr]; ok {
-		return conn, nil
+	ns, ok := c.nodes[addr]
+	if !ok {
+		ns = &nodeState{}
+		c.nodes[addr] = ns
 	}
-	conn, err := c.dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	c.conns[addr] = conn
-	return conn, nil
+	return ns
 }
 
-// dropConn forgets a connection after a transport error so the next
-// operation re-dials.
-func (c *ClusterClient) dropConn(addr string) {
+// opOnNode runs one protocol operation against addr under the node's
+// connection lock, dialing lazily and dropping the connection on
+// transport failure so the next operation re-dials.
+func (c *ClusterClient) opOnNode(addr string, fn func(*Client) error) error {
+	ns := c.node(addr)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.conn == nil {
+		conn, err := c.dial(addr)
+		if err != nil {
+			return err
+		}
+		ns.conn = conn
+	}
+	err := fn(ns.conn)
+	if err != nil && isTransport(err) {
+		ns.conn.Close() //nolint:kv3d // the transport error is the signal; the close of a broken conn is cleanup
+		ns.conn = nil
+	}
+	return err
+}
+
+// recordSuccess clears a node's failure streak.
+func (c *ClusterClient) recordSuccess(addr string) {
 	c.mu.Lock()
-	if conn, ok := c.conns[addr]; ok {
-		conn.Close()
-		delete(c.conns, addr)
+	if ns, ok := c.nodes[addr]; ok {
+		ns.fails = 0
 	}
 	c.mu.Unlock()
+}
+
+// recordFailure notes a transport failure and ejects the node from the
+// ring once the streak reaches the threshold.
+func (c *ClusterClient) recordFailure(addr string) {
+	c.count("kvclient.transport_errors")
+	c.mu.Lock()
+	ns, ok := c.nodes[addr]
+	if !ok || c.ejectAfter <= 0 {
+		c.mu.Unlock()
+		return
+	}
+	ns.fails++
+	eject := !ns.ejected && ns.fails >= c.ejectAfter
+	if eject {
+		ns.ejected = true
+		ns.retryAt = time.Now().Add(c.probation)
+	}
+	c.mu.Unlock()
+	if eject {
+		c.ring.Remove(addr)
+		c.count("kvclient.ejections")
+	}
+}
+
+// maybeReadmit returns expired-probation nodes to the ring. A
+// re-admitted node is half-open: its streak restarts one failure below
+// the threshold, so a single failed probe re-ejects it. If every node
+// is ejected the breaker yields — all are re-admitted immediately,
+// because guessing at a dead cluster beats refusing a live one.
+func (c *ClusterClient) maybeReadmit() {
+	now := time.Now()
+	var back []string
+	c.mu.Lock()
+	for addr, ns := range c.nodes {
+		if ns.ejected && now.After(ns.retryAt) {
+			ns.ejected = false
+			ns.fails = c.ejectAfter - 1
+			back = append(back, addr)
+		}
+	}
+	c.mu.Unlock()
+	for _, addr := range back {
+		c.ring.Add(addr)
+		c.count("kvclient.readmissions")
+	}
+	if c.ring.Len() > 0 {
+		return
+	}
+	// Empty ring: every node is ejected. Re-admit them all.
+	var all []string
+	c.mu.Lock()
+	for addr, ns := range c.nodes {
+		if ns.ejected {
+			ns.ejected = false
+			ns.fails = c.ejectAfter - 1
+			all = append(all, addr)
+		}
+	}
+	c.mu.Unlock()
+	for _, addr := range all {
+		c.ring.Add(addr)
+		c.count("kvclient.readmissions")
+	}
+}
+
+// retryable reports whether an error is worth another attempt: any
+// transport failure, a busy refusal (the server sheds load but lives),
+// or a momentarily empty ring.
+func retryable(err error) bool {
+	return isTransport(err) || errors.Is(err, ErrBusy) || errors.Is(err, ErrNoNodes)
+}
+
+// withRetry runs fn with exponential backoff and full jitter.
+func (c *ClusterClient) withRetry(fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !retryable(err) || attempt >= c.maxRetries {
+			return err
+		}
+		ceiling := c.baseDelay << attempt
+		if ceiling > c.maxDelay || ceiling <= 0 {
+			ceiling = c.maxDelay
+		}
+		c.count("kvclient.retries")
+		c.sleep(time.Duration(c.jitter() * float64(ceiling)))
+	}
 }
 
 // ownersFor returns the replica set for a key.
@@ -133,25 +381,44 @@ func isTransport(err error) bool {
 }
 
 // Get reads a key, trying each replica in preference order on miss or
-// node failure.
+// node failure, retrying with backoff if every replica failed.
 func (c *ClusterClient) Get(key string) (Item, error) {
+	var it Item
+	err := c.withRetry(func() error {
+		var err error
+		it, err = c.getOnce(key)
+		return err
+	})
+	return it, err
+}
+
+func (c *ClusterClient) getOnce(key string) (Item, error) {
+	c.maybeReadmit()
 	owners, err := c.ownersFor(key)
 	if err != nil {
 		return Item{}, err
 	}
 	lastErr := error(ErrNotFound)
-	for _, addr := range owners {
-		conn, err := c.conn(addr)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		it, err := conn.Get(key)
+	for i, addr := range owners {
+		var it Item
+		err := c.opOnNode(addr, func(conn *Client) error {
+			var e error
+			it, e = conn.Get(key)
+			return e
+		})
 		if err == nil {
+			c.recordSuccess(addr)
+			if i > 0 {
+				c.count("kvclient.failovers")
+			}
 			return it, nil
 		}
 		if isTransport(err) {
-			c.dropConn(addr)
+			c.recordFailure(addr)
+		} else if errors.Is(err, ErrBusy) {
+			c.count("kvclient.busy")
+		} else if !errors.Is(err, ErrNotFound) {
+			return Item{}, err
 		}
 		lastErr = err
 	}
@@ -159,8 +426,16 @@ func (c *ClusterClient) Get(key string) (Item, error) {
 }
 
 // Set writes a key to all replicas; it succeeds if at least one replica
-// stored the value and reports the first error otherwise.
+// stored the value and reports the first error otherwise, retrying with
+// backoff if no replica stored it.
 func (c *ClusterClient) Set(key string, value []byte, flags uint32, exptime int64) error {
+	return c.withRetry(func() error {
+		return c.setOnce(key, value, flags, exptime)
+	})
+}
+
+func (c *ClusterClient) setOnce(key string, value []byte, flags uint32, exptime int64) error {
+	c.maybeReadmit()
 	owners, err := c.ownersFor(key)
 	if err != nil {
 		return err
@@ -168,16 +443,18 @@ func (c *ClusterClient) Set(key string, value []byte, flags uint32, exptime int6
 	stored := 0
 	var firstErr error
 	for _, addr := range owners {
-		conn, err := c.conn(addr)
+		err := c.opOnNode(addr, func(conn *Client) error {
+			return conn.Set(key, value, flags, exptime)
+		})
 		if err == nil {
-			err = conn.Set(key, value, flags, exptime)
-		}
-		if err == nil {
+			c.recordSuccess(addr)
 			stored++
 			continue
 		}
 		if isTransport(err) {
-			c.dropConn(addr)
+			c.recordFailure(addr)
+		} else if errors.Is(err, ErrBusy) {
+			c.count("kvclient.busy")
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -193,8 +470,15 @@ func (c *ClusterClient) Set(key string, value []byte, flags uint32, exptime int6
 }
 
 // Delete removes a key from every replica; ErrNotFound only if no
-// replica had it.
+// replica had it. Transport failures are retried with backoff.
 func (c *ClusterClient) Delete(key string) error {
+	return c.withRetry(func() error {
+		return c.deleteOnce(key)
+	})
+}
+
+func (c *ClusterClient) deleteOnce(key string) error {
+	c.maybeReadmit()
 	owners, err := c.ownersFor(key)
 	if err != nil {
 		return err
@@ -202,17 +486,20 @@ func (c *ClusterClient) Delete(key string) error {
 	deleted := 0
 	var firstErr error
 	for _, addr := range owners {
-		conn, err := c.conn(addr)
-		if err == nil {
-			err = conn.Delete(key)
-		}
+		err := c.opOnNode(addr, func(conn *Client) error {
+			return conn.Delete(key)
+		})
 		switch {
 		case err == nil:
+			c.recordSuccess(addr)
 			deleted++
 		case errors.Is(err, ErrNotFound):
+			c.recordSuccess(addr)
 		default:
 			if isTransport(err) {
-				c.dropConn(addr)
+				c.recordFailure(addr)
+			} else if errors.Is(err, ErrBusy) {
+				c.count("kvclient.busy")
 			}
 			if firstErr == nil {
 				firstErr = err
@@ -231,10 +518,18 @@ func (c *ClusterClient) Delete(key string) error {
 // Close shuts every connection.
 func (c *ClusterClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for addr, conn := range c.conns {
-		conn.Close()
-		delete(c.conns, addr)
+	states := make([]*nodeState, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		states = append(states, ns)
+	}
+	c.mu.Unlock()
+	for _, ns := range states {
+		ns.mu.Lock()
+		if ns.conn != nil {
+			ns.conn.Close() //nolint:kv3d // shutdown: per-conn close errors on teardown carry no signal
+			ns.conn = nil
+		}
+		ns.mu.Unlock()
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kv3d/internal/metrics"
 	"kv3d/internal/obs"
@@ -12,13 +13,58 @@ import (
 	"kv3d/internal/sim"
 )
 
+// RejectReason classifies refused work: connections turned away at the
+// accept loop and requests shed by the in-flight gate.
+type RejectReason int
+
+const (
+	// RejectMaxConns is an accept refused by the connection cap.
+	RejectMaxConns RejectReason = iota
+	// RejectBusy is a request shed by the in-flight cap.
+	RejectBusy
+	// RejectDraining is an accept refused during graceful shutdown.
+	RejectDraining
+
+	numRejectReasons
+)
+
+func (r RejectReason) String() string {
+	switch r {
+	case RejectMaxConns:
+		return "max_conns"
+	case RejectBusy:
+		return "busy"
+	case RejectDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
 // OpMetrics aggregates per-operation-class latency histograms across
-// all connections (TCP ASCII, TCP binary, UDP). It implements
-// protocol.Observer; sessions call ObserveOp from their connection
-// goroutines, so the histograms sit behind a mutex.
+// all connections (TCP ASCII, TCP binary, UDP), plus rejection
+// counters. It implements protocol.Observer; sessions call ObserveOp
+// from their connection goroutines, so the histograms sit behind a
+// mutex (the reject counters are atomic and lock-free).
 type OpMetrics struct {
-	mu    sync.Mutex
-	hists [protocol.NumOpClasses]*metrics.Histogram
+	mu      sync.Mutex
+	hists   [protocol.NumOpClasses]*metrics.Histogram
+	rejects [numRejectReasons]atomic.Uint64
+}
+
+// Reject counts one refusal.
+func (m *OpMetrics) Reject(r RejectReason) {
+	if r < 0 || r >= numRejectReasons {
+		return
+	}
+	m.rejects[r].Add(1) //nolint:kv3d // rejects is an atomic counter array, deliberately lock-free (hot shed path)
+}
+
+// Rejects reports the refusal count for one reason.
+func (m *OpMetrics) Rejects(r RejectReason) uint64 {
+	if r < 0 || r >= numRejectReasons {
+		return 0
+	}
+	return m.rejects[r].Load() //nolint:kv3d // rejects is an atomic counter array, deliberately lock-free (hot shed path)
 }
 
 // NewOpMetrics allocates histograms for every operation class.
@@ -64,6 +110,12 @@ func (m *OpMetrics) Probes() []obs.Probe {
 		}
 		probes = append(probes,
 			obs.SummaryProbes("live.op."+c.String()+".latency_ns", s)...)
+	}
+	for r := RejectReason(0); r < numRejectReasons; r++ {
+		if n := m.rejects[r].Load(); n > 0 {
+			probes = append(probes, obs.Probe{
+				Name: "live.server.rejected." + r.String(), Value: float64(n)})
+		}
 	}
 	return probes
 }

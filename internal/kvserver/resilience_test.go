@@ -1,0 +1,276 @@
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kv3d/internal/kvclient"
+	"kv3d/internal/kvstore"
+	"kv3d/internal/testutil"
+)
+
+// TestMaxConnsRejectedPromptly pins the new refusal behaviour: a
+// connection over the cap receives an explicit busy line and is closed
+// promptly, and the rejection is classified in OpMetrics.
+func TestMaxConnsRejectedPromptly(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st, _ := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	srv := NewWithOptions(st, nil, Options{MaxConns: 1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	c1, err := kvclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Set("a", []byte("1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(raw).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no busy line before close: %v", err)
+	}
+	if strings.TrimRight(line, "\r\n") != "SERVER_ERROR busy" {
+		t.Fatalf("refusal line = %q", line)
+	}
+	// The connection is closed after the refusal, promptly.
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected connection stayed open")
+	}
+	if srv.Rejected() == 0 {
+		t.Fatal("rejected counter never bumped")
+	}
+	if srv.OpMetrics().Rejects(RejectMaxConns) == 0 {
+		t.Fatal("reject reason max_conns not counted")
+	}
+	found := false
+	for _, p := range srv.Probes() {
+		if p.Name == "live.server.rejected.max_conns" && p.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rejected.max_conns probe missing")
+	}
+}
+
+// TestBusyRefusalIsRetryableClientSide ties the wire format to the
+// client's classification: the refusal parses as kvclient.ErrBusy.
+func TestBusyRefusalClassifiesAsErrBusy(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		br := bufio.NewReader(c)
+		br.ReadString('\n') // the get line
+		io.WriteString(c, "SERVER_ERROR busy\r\n")
+		br.ReadString('\n') // quit from Close
+	}()
+	c, err := kvclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Get("k")
+	if !errors.Is(err, kvclient.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if !errors.Is(err, kvclient.ErrServer) {
+		t.Fatal("ErrBusy must still match ErrServer checks")
+	}
+}
+
+// TestInflightCapShedsUnderLoad wires the gate end to end: one client
+// wedges the only execution slot by not reading a large response (the
+// server blocks mid-dispatch with the slot held), so a second client's
+// request is answered busy instead of queueing.
+func TestInflightCapShedsUnderLoad(t *testing.T) {
+	st, _ := kvstore.New(kvstore.DefaultConfig(64 << 20))
+	srv := NewWithOptions(st, nil, Options{MaxInflight: 1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	big := make([]byte, 900<<10)
+	seed, err := kvclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Set("big", big, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	// Wedge: pipeline many gets of the value and never read. The
+	// server's response writes overflow every buffer in the path and
+	// block inside dispatch, holding the in-flight slot.
+	wedge, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedge.Close()
+	go io.WriteString(wedge, strings.Repeat("get big\r\n", 64))
+
+	probe, err := kvclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := probe.Get("absent")
+		if errors.Is(err, kvclient.ErrBusy) {
+			break
+		}
+		if err != nil && !errors.Is(err, kvclient.ErrNotFound) {
+			t.Fatalf("probe error = %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight cap never shed a request")
+		}
+	}
+	if srv.OpMetrics().Rejects(RejectBusy) == 0 {
+		t.Fatal("reject reason busy not counted")
+	}
+}
+
+// TestShutdownDrains: established connections finish their work during
+// the drain window while new arrivals are refused; Shutdown returns nil
+// when the server empties before the deadline.
+func TestShutdownDrains(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st, _ := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	srv := NewWithOptions(st, nil, Options{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	addr := srv.Addr().String()
+
+	c, err := kvclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		shutdownErr <- srv.Shutdown(5 * time.Second)
+	}()
+
+	// Wait until the drain is refusing new connections.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.OpMetrics().Rejects(RejectDraining) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("draining refusal never observed")
+		}
+		if raw, err := net.Dial("tcp", addr); err == nil {
+			raw.SetReadDeadline(time.Now().Add(time.Second))
+			io.ReadAll(raw)
+			raw.Close()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The established connection still works mid-drain...
+	if _, err := c.Get("k"); err != nil {
+		t.Fatalf("established conn broken during drain: %v", err)
+	}
+	// ...and once it leaves, the drain completes cleanly.
+	c.Close()
+	wg.Wait()
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("drain should have emptied in time: %v", err)
+	}
+}
+
+// TestShutdownDeadlineCutsStragglers: a connection that never leaves is
+// cut when the drain deadline passes, and Shutdown reports it.
+func TestShutdownDeadlineCutsStragglers(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st, _ := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	srv := NewWithOptions(st, nil, Options{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	c, err := kvclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = srv.Shutdown(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Shutdown with a lingering connection should report the missed deadline")
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("Shutdown took %v; the deadline did not bound the drain", took)
+	}
+	if srv.Active() != 0 {
+		t.Fatalf("active = %d after Shutdown", srv.Active())
+	}
+}
+
+// TestServeOn serves on a caller-provided listener.
+func TestServeOn(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st, _ := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	srv := New(st, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeOn(ln)
+	defer srv.Close()
+	c, err := kvclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if it, err := c.Get("k"); err != nil || string(it.Value) != "v" {
+		t.Fatalf("get = %+v, %v", it, err)
+	}
+}

@@ -20,9 +20,15 @@ import (
 
 // Options tune server-level limits. The zero value means unlimited.
 type Options struct {
-	// MaxConns caps simultaneous connections; further accepts are
-	// closed immediately (memcached's -c).
+	// MaxConns caps simultaneous connections; further accepts receive a
+	// busy line and are closed promptly (memcached's -c, except the
+	// refusal is explicit rather than a silent close).
 	MaxConns int
+	// MaxInflight caps concurrently executing requests across all
+	// connections. Excess commands are answered "SERVER_ERROR busy"
+	// (StatusBusy on the binary protocol) instead of queueing without
+	// bound — the server sheds load rather than silently degrading.
+	MaxInflight int
 	// IdleTimeout closes connections with no traffic for this long.
 	IdleTimeout time.Duration
 	// NowNanos is the clock used to time per-op latency, as a typed
@@ -38,11 +44,16 @@ type Server struct {
 	ln    net.Listener
 	log   *log.Logger
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
 
-	wg       sync.WaitGroup
+	wg sync.WaitGroup
+	// rejectWg tracks the short-lived goroutines that write busy
+	// refusals to turned-away connections — separate from wg so the
+	// drain in Shutdown waits only on real handlers.
+	rejectWg sync.WaitGroup
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 	active   atomic.Int64
@@ -51,8 +62,33 @@ type Server struct {
 	metricsWriteErrors atomic.Uint64
 
 	ops      *OpMetrics
+	gate     *inflightGate
 	nowNanos func() sim.Ns
 }
+
+// inflightGate is a non-blocking semaphore capping concurrently
+// executing requests; it implements protocol.Gate and counts its own
+// refusals.
+type inflightGate struct {
+	sem chan struct{}
+	ops *OpMetrics
+}
+
+func newInflightGate(n int, ops *OpMetrics) *inflightGate {
+	return &inflightGate{sem: make(chan struct{}, n), ops: ops}
+}
+
+func (g *inflightGate) TryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		g.ops.Reject(RejectBusy)
+		return false
+	}
+}
+
+func (g *inflightGate) Release() { <-g.sem }
 
 // New creates a server for the given store. logger may be nil to
 // silence per-connection errors.
@@ -66,7 +102,7 @@ func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Ser
 	if now == nil {
 		now = func() sim.Ns { return sim.Ns(time.Now().UnixNano()) }
 	}
-	return &Server{
+	s := &Server{
 		store:    store,
 		log:      logger,
 		opts:     opts,
@@ -74,6 +110,10 @@ func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Ser
 		ops:      NewOpMetrics(),
 		nowNanos: now,
 	}
+	if opts.MaxInflight > 0 {
+		s.gate = newInflightGate(opts.MaxInflight, s.ops)
+	}
+	return s
 }
 
 // Listen binds the address (e.g. "127.0.0.1:11211"). Use port :0 for an
@@ -118,19 +158,47 @@ func (s *Server) Serve() error {
 			conn.Close()
 			return nil
 		}
+		if s.draining {
+			s.mu.Unlock()
+			s.rejectConn(conn, RejectDraining)
+			continue
+		}
 		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
 			s.mu.Unlock()
-			conn.Close()
-			s.rejected.Add(1)
+			s.rejectConn(conn, RejectMaxConns)
 			continue
 		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
 		s.accepted.Add(1)
 		s.active.Add(1)
-		s.wg.Add(1)
 		go s.handle(conn)
 	}
+}
+
+// ServeOn serves on a caller-provided listener instead of one bound by
+// Listen — harnesses wrap a listener (e.g. with fault injection) and
+// hand it over.
+func (s *Server) ServeOn(ln net.Listener) error {
+	s.ln = ln
+	return s.Serve()
+}
+
+// rejectConn refuses a just-accepted connection with an explicit busy
+// line so the client fails fast instead of diagnosing a silent close.
+// The write runs in its own goroutine under a deadline, so a stalled
+// peer can neither pin the accept loop nor leak the goroutine.
+func (s *Server) rejectConn(conn net.Conn, reason RejectReason) {
+	s.rejected.Add(1)
+	s.ops.Reject(reason)
+	s.rejectWg.Add(1)
+	go func() {
+		defer s.rejectWg.Done()
+		conn.SetWriteDeadline(time.Now().Add(time.Second)) //nolint:kv3d // best-effort farewell: a failed deadline arm just makes the write fail instead
+		io.WriteString(conn, "SERVER_ERROR busy\r\n")      //nolint:kv3d // best-effort farewell to a refused client; nothing to do if it fails
+		conn.Close()                                       //nolint:kv3d // the refusal is complete; the close error of a turned-away conn carries no signal
+	}()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -158,10 +226,16 @@ func (s *Server) handle(conn net.Conn) {
 	if first[0] == protocol.MagicRequest {
 		sess := protocol.NewBinarySessionBuffered(s.store, br, bw)
 		sess.SetObserver(s.ops, s.nowNanos)
+		if s.gate != nil {
+			sess.SetGate(s.gate)
+		}
 		err = sess.Serve()
 	} else {
 		sess := protocol.NewSessionBuffered(s.store, br, bw)
 		sess.SetObserver(s.ops, s.nowNanos)
+		if s.gate != nil {
+			sess.SetGate(s.gate)
+		}
 		err = sess.Serve()
 	}
 	if err != nil && s.log != nil {
@@ -186,6 +260,38 @@ func (s *Server) Close() error {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	s.rejectWg.Wait()
+	return err
+}
+
+// Shutdown drains gracefully: new connections are refused with a busy
+// line while established ones keep being served, for up to timeout;
+// whatever remains is then closed. It returns nil if the drain emptied
+// the server before the deadline.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	// wg.Add for handlers happens under mu before draining was set, so
+	// this waiter cannot race a late registration.
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-time.After(timeout):
+		err = errors.New("kvserver: drain deadline exceeded")
+	}
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 

@@ -68,6 +68,9 @@ const (
 	StatusNonNumeric     = 0x0006
 	StatusUnknownCommand = 0x0081
 	StatusOutOfMemory    = 0x0082
+	// StatusBusy is the load-shedding refusal, the binary twin of the
+	// ASCII "SERVER_ERROR busy" line (memcached's EBUSY status).
+	StatusBusy = 0x0085
 )
 
 const binHeaderLen = 24
@@ -110,7 +113,13 @@ type BinarySession struct {
 	// Optional per-op observation, as on Session.
 	obs      Observer
 	nowNanos func() sim.Ns
+
+	// Optional admission gate, as on Session.
+	gate Gate
 }
+
+// SetGate installs an in-flight admission gate; call before Serve.
+func (s *BinarySession) SetGate(g Gate) { s.gate = g }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands; call before Serve.
@@ -183,13 +192,36 @@ func (s *BinarySession) serveOne() error {
 	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)]) //nolint:kv3d // binary keys cross into the string-keyed store mutation API; one short per-frame allocation is accepted
 	value := body[int(h.extrasLen)+int(h.keyLen):]
 
+	// The frame (header and body) has been fully consumed, so a busy
+	// refusal here cannot desynchronize the stream. Quiet variants are
+	// shed silently; quit still quits.
+	if s.gate != nil && !s.gate.TryAcquire() {
+		switch {
+		case h.opcode == OpQuit:
+			s.respond(h, StatusOK, nil, "", nil, 0) //nolint:kv3d // the session ends either way; ErrQuit carries the outcome
+			return ErrQuit
+		case h.opcode == OpQuitQ:
+			return ErrQuit
+		case quiet(h.opcode):
+			return nil
+		}
+		return s.respond(h, StatusBusy, nil, "", []byte("busy"), 0)
+	}
+
 	if s.obs != nil && s.nowNanos != nil {
 		start := s.nowNanos()
 		err := s.dispatch(h, extras, key, value)
 		s.obs.ObserveOp(classifyOpcode(h.opcode), s.nowNanos()-start)
+		if s.gate != nil {
+			s.gate.Release()
+		}
 		return err
 	}
-	return s.dispatch(h, extras, key, value)
+	err := s.dispatch(h, extras, key, value)
+	if s.gate != nil {
+		s.gate.Release()
+	}
+	return err
 }
 
 // dispatch executes one parsed frame.

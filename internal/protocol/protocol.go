@@ -32,6 +32,10 @@ const (
 	respOK        = "OK\r\n"
 	respEnd       = "END\r\n"
 	respError     = "ERROR\r\n"
+	// respBusy is the load-shedding refusal: the server is over its
+	// in-flight cap and declines the command rather than queueing it.
+	// Clients treat it as retryable (see kvclient.ErrBusy).
+	respBusy = "SERVER_ERROR busy\r\n"
 )
 
 // maxLineLen bounds a command line, mirroring memcached's 2048 limit.
@@ -39,6 +43,18 @@ const maxLineLen = 2048
 
 // ErrQuit is returned by Session.Serve when the client sent quit.
 var ErrQuit = errors.New("protocol: client quit")
+
+// Gate admits requests under a server-wide in-flight cap. TryAcquire
+// is called before dispatching each command; if it refuses, the session
+// answers busy instead of executing, and Release is not called. The
+// implementation must be safe for concurrent use from all connection
+// goroutines (kvserver's is a buffered-channel semaphore).
+type Gate interface {
+	// TryAcquire claims an execution slot without blocking.
+	TryAcquire() bool
+	// Release returns a slot claimed by TryAcquire.
+	Release()
+}
 
 // Session serves the memcached protocol on one connection.
 type Session struct {
@@ -55,7 +71,13 @@ type Session struct {
 	// layer so this package never reads wall time itself.
 	obs      Observer
 	nowNanos func() sim.Ns
+
+	// Optional admission gate; nil means unlimited.
+	gate Gate
 }
+
+// SetGate installs an in-flight admission gate; call before Serve.
+func (s *Session) SetGate(g Gate) { s.gate = g }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands. Both must be non-nil to enable observation; call
@@ -114,13 +136,59 @@ func (s *Session) serveOne() error {
 	if len(verb) == 0 {
 		return s.reply(respError)
 	}
+	if s.gate != nil && !s.gate.TryAcquire() {
+		return s.shedBusy(verb, rest)
+	}
 	if s.obs != nil && s.nowNanos != nil {
 		start := s.nowNanos()
 		err := s.dispatch(verb, rest)
 		s.obs.ObserveOp(classifyVerbBytes(verb), s.nowNanos()-start)
+		if s.gate != nil {
+			s.gate.Release()
+		}
 		return err
 	}
-	return s.dispatch(verb, rest)
+	err = s.dispatch(verb, rest)
+	if s.gate != nil {
+		s.gate.Release()
+	}
+	return err
+}
+
+// shedBusy refuses one command while the server is over its in-flight
+// cap. Store-class commands carry a data block that must be consumed
+// before replying, or the refusal would desynchronize the stream (the
+// block's bytes would be parsed as commands). noreply commands are shed
+// silently, matching their fire-and-forget contract; quit still quits.
+func (s *Session) shedBusy(verb, rest []byte) error {
+	switch string(verb) {
+	case "quit":
+		return ErrQuit
+	case "set", "add", "replace", "append", "prepend", "cas":
+		extra := 0
+		if string(verb) == "cas" {
+			extra = 1
+		}
+		args := strings.Fields(string(rest))
+		_, _, _, nbytes, _, noreply, perr := parseStorageArgs(args, extra)
+		if perr != nil {
+			return s.clientError(perr.Error())
+		}
+		if _, err := s.readData(nbytes); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return io.EOF
+			}
+			return s.clientError("bad data chunk")
+		}
+		if noreply {
+			return nil
+		}
+		return s.reply(respBusy)
+	}
+	if wantsNoReply(strings.Fields(string(rest))) {
+		return nil
+	}
+	return s.reply(respBusy)
 }
 
 // dispatch executes one command. The verb comparison converts through

@@ -1,0 +1,58 @@
+package stackmodel
+
+import "testing"
+
+func TestDegradedPortsValidation(t *testing.T) {
+	c := mercuryA7(4)
+	ports := c.Mem.Ports()
+	c.DegradedPorts = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative degraded ports accepted")
+	}
+	c.DegradedPorts = ports // zero survivors
+	if err := c.Validate(); err == nil {
+		t.Fatal("fully dead stack accepted; at least one port must survive")
+	}
+	c.DegradedPorts = ports - 1
+	if err := c.Validate(); err != nil {
+		t.Fatalf("one surviving port should validate: %v", err)
+	}
+}
+
+// TestDegradedPortsReduceTPS: with dead ports the survivors queue the
+// displaced traffic, so throughput drops but the stack stays up —
+// the partial-failure mode a 96-stack box rides through.
+func TestDegradedPortsReduceTPS(t *testing.T) {
+	// Large flash values make the memory ports the bottleneck (cf.
+	// TestPortContentionVisibleForLargeFlashValues), so losing ports
+	// must show up in TPS.
+	cfg := iridiumA7(16)
+	healthy := measure(t, cfg, Get, 64<<10, 400)
+
+	cfg.DegradedPorts = cfg.Mem.Ports() * 3 / 4
+	degraded := measure(t, cfg, Get, 64<<10, 400)
+
+	if degraded.StackTPS <= 0 {
+		t.Fatal("degraded stack stopped serving entirely")
+	}
+	if degraded.StackTPS >= healthy.StackTPS {
+		t.Fatalf("degraded StackTPS %.0f >= healthy %.0f; dead ports had no effect",
+			degraded.StackTPS, healthy.StackTPS)
+	}
+}
+
+// TestDegradedPortsMonotone: more dead ports, less throughput (weakly).
+func TestDegradedPortsMonotone(t *testing.T) {
+	cfg := iridiumA7(16)
+	prev := -1.0
+	for _, dead := range []int{12, 8, 4, 0} { // healthier as we go
+		c := cfg
+		c.DegradedPorts = dead
+		r := measure(t, c, Get, 64<<10, 300)
+		if prev >= 0 && r.StackTPS < prev {
+			t.Fatalf("TPS fell from %.0f to %.0f as ports were restored (dead=%d)",
+				prev, r.StackTPS, dead)
+		}
+		prev = r.StackTPS
+	}
+}

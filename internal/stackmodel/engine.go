@@ -24,6 +24,12 @@ type Config struct {
 	Costs *RequestCosts
 	// Offload optionally adds a TSSP-style GET engine (see offload.go).
 	Offload *Offload
+	// DegradedPorts disables that many of the stack's memory ports,
+	// modeling a partially failed stack (dead TSVs or vaults): the
+	// surviving ports absorb the displaced cores' traffic, so queueing
+	// rises and TPS drops instead of the whole stack going dark. At
+	// least one port must survive.
+	DegradedPorts int
 }
 
 func (c Config) costs() RequestCosts {
@@ -44,6 +50,10 @@ func (c Config) Validate() error {
 	if c.CoresPerStack > 2*c.Mem.Ports() {
 		return fmt.Errorf("stackmodel: %d cores exceed 2 per memory port (%d ports)",
 			c.CoresPerStack, c.Mem.Ports())
+	}
+	if c.DegradedPorts < 0 || c.DegradedPorts >= c.Mem.Ports() {
+		return fmt.Errorf("stackmodel: degraded ports %d out of range [0, %d)",
+			c.DegradedPorts, c.Mem.Ports())
 	}
 	return nil
 }
@@ -79,7 +89,7 @@ func NewStack(cfg Config) (*Stack, error) {
 	for i := 0; i < cfg.CoresPerStack; i++ {
 		st.cores = append(st.cores, sim.NewResource(s, fmt.Sprintf("core%d", i), 1))
 	}
-	for i := 0; i < cfg.Mem.Ports(); i++ {
+	for i := 0; i < cfg.Mem.Ports()-cfg.DegradedPorts; i++ {
 		st.ports = append(st.ports, sim.NewResource(s, fmt.Sprintf("port%d", i), 1))
 	}
 	st.mac = netmodel.NewMAC(s, "mac")
