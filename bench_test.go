@@ -153,6 +153,60 @@ func BenchmarkStoreSet(b *testing.B) {
 	}
 }
 
+// --- batched GET (multiget) ---------------------------------------------
+
+// BenchmarkMultiget regenerates the batched-GET amortization study
+// (sim batch-size sweep plus live hot-path lock/alloc accounting).
+func BenchmarkMultiget(b *testing.B) { benchExperiment(b, "multiget") }
+
+// BenchmarkMultigetStoreBatch64 measures the zero-alloc 64-key batch
+// read (GetBatchInto) against the striped store, rotating through the
+// key space so every shard stays warm.
+func BenchmarkMultigetStoreBatch64(b *testing.B) {
+	st := newBenchStore(b, kvstore.ModeStriped, kvstore.PolicyLRU)
+	keys := preload(b, st, 65536, 64)
+	bkeys := make([][]byte, 64)
+	for i := range bkeys {
+		bkeys[i] = []byte(keys[i])
+	}
+	var scr kvstore.BatchScratch
+	var dst []byte
+	var out []kvstore.BatchResult
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range bkeys {
+			bkeys[j] = append(bkeys[j][:0], keys[(i*64+j)&65535]...)
+		}
+		dst, out = st.GetBatchInto(dst[:0], bkeys, out[:0], &scr)
+		if len(out) != 64 {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkMultigetSimBatch16 measures the closed-loop stack model's
+// 16-key multiget and reports the simulated key throughput.
+func BenchmarkMultigetSimBatch16(b *testing.B) {
+	cfg := stackmodel.Config{
+		Core: cpu.CortexA7(), Cache: cache.L2MB2(),
+		Mem: memmodel.MustDRAM3D(10 * sim.Nanosecond), CoresPerStack: 1,
+	}
+	var keyTPS float64
+	for i := 0; i < b.N; i++ {
+		st, err := stackmodel.NewStack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := st.MeasureMultiget(16, 64, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keyTPS = res.StackTPS * 16
+	}
+	b.ReportMetric(keyTPS, "simKeysTPS")
+}
+
 // --- ablation: locking and eviction design (Table 4 baselines) ----------
 
 // benchContention drives parallel GET-heavy traffic at a store built

@@ -598,6 +598,60 @@ func (x *w) Render(n byte) []byte {
 	assertFindings(t, checkHotAlloc(a), 0)
 }
 
+func TestHotAllocBatchedLookupShapeAllowed(t *testing.T) {
+	// The GetBatchInto idiom: grouping state lives in a caller-owned
+	// scratch struct that a cold, unannotated grow() sizes; the hot
+	// function only reslices scratch fields and appends into the
+	// caller-owned destination. None of that may be flagged — but a
+	// careless variant that groups into a bare local slice must be.
+	a := writeModule(t, map[string]string{
+		"pkg/s.go": `package pkg
+
+type scratch struct {
+	order  []int32
+	counts []int32
+}
+
+// grow is cold setup: allocating here is fine.
+func (s *scratch) grow(n, shards int) {
+	if cap(s.order) < n {
+		s.order = make([]int32, n)
+	}
+	if cap(s.counts) < shards {
+		s.counts = make([]int32, shards)
+	}
+}
+
+//kv3d:hotpath
+func BatchLookup(dst []byte, keys [][]byte, scr *scratch) []byte {
+	scr.grow(len(keys), 8)
+	order := scr.order[:len(keys)]  // allowed: reslicing scratch
+	counts := scr.counts[:8]        // allowed: reslicing scratch
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, k := range keys {
+		order[i] = int32(len(k) % len(counts))
+	}
+	for _, ki := range order {
+		dst = append(dst, byte(ki)) // allowed: caller-owned destination
+	}
+	return dst
+}
+
+//kv3d:hotpath
+func BatchLookupSloppy(keys [][]byte) []int32 {
+	var order []int32
+	for i := range keys {
+		order = append(order, int32(i)) // flagged: regrows per call
+	}
+	return order
+}`,
+	})
+	assertFindings(t, checkHotAlloc(a), 1,
+		`append grows "order" from zero capacity`)
+}
+
 func TestErrDropIgnoredVsHandled(t *testing.T) {
 	a := writeModule(t, map[string]string{
 		"internal/obs/obs.go": `package obs

@@ -74,6 +74,75 @@ func serveGets(t *testing.T, st *kvstore.Store, req string) {
 	}
 }
 
+// TestASCIIMultigetZeroAllocPerOp extends the GET gate to the batched
+// server path: a 16-key multiget served through kvstore.GetBatchInto
+// must not allocate per operation in steady state. Per-session setup
+// (scratch growth on the first command) is identical at both command
+// counts, so any difference is per-op cost.
+func TestASCIIMultigetZeroAllocPerOp(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 16; i++ {
+		k := "key-" + string(rune('a'+i))
+		keys = append(keys, k)
+		if err := st.Set(k, []byte("0123456789abcdef"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line := "get " + strings.Join(keys, " ") + "\r\n"
+	session := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(line)
+		}
+		b.WriteString("quit\r\n")
+		return b.String()
+	}
+	const small, large = 64, 1024
+	reqSmall, reqLarge := session(small), session(large)
+
+	allocsSmall := testing.AllocsPerRun(10, func() { serveGets(t, st, reqSmall) })
+	allocsLarge := testing.AllocsPerRun(10, func() { serveGets(t, st, reqLarge) })
+	if perOp := (allocsLarge - allocsSmall) / float64(large-small); perOp != 0 {
+		t.Fatalf("ASCII 16-key multiget allocates %v per op (session totals: %v @ %d ops, %v @ %d ops), want 0",
+			perOp, allocsSmall, small, allocsLarge, large)
+	}
+}
+
+// TestKVStoreGetBatchIntoZeroAlloc measures the store-side batch call
+// directly: with reused dst/out/scratch a 64-key batch is alloc-free.
+func TestKVStoreGetBatchIntoZeroAlloc(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([][]byte, 64)
+	for i := range keys {
+		k := []byte("batch-key-" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		keys[i] = k
+		if err := st.Set(string(k), []byte("bench-value-0123456789"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scr kvstore.BatchScratch
+	dst := make([]byte, 0, 4096)
+	out := make([]kvstore.BatchResult, 0, 64)
+	// Warm the scratch to its high-water mark.
+	dst, out = st.GetBatchInto(dst[:0], keys, out[:0], &scr)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, out = st.GetBatchInto(dst[:0], keys, out[:0], &scr)
+		if len(out) != len(keys) || !out[0].Found {
+			t.Fatal("batch lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetBatchInto allocates %v per op, want 0", allocs)
+	}
+}
+
 func TestASCIIGetZeroAllocPerOp(t *testing.T) {
 	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
 	if err != nil {

@@ -51,7 +51,7 @@ var presentationOrder = []string{
 	"table1", "table2", "table3", "table4",
 	"fig4", "fig5", "fig6", "fig7", "fig8",
 	"thermal", "hotspot", "endurance", "ablation",
-	"eviction", "loadlatency", "accelerator", "diurnal", "dramsim",
+	"eviction", "loadlatency", "multiget", "accelerator", "diurnal", "dramsim",
 }
 
 // IDs lists experiment identifiers in presentation order; anything

@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4",
 		"fig4", "fig5", "fig6", "fig7", "fig8",
 		"thermal", "hotspot", "endurance", "ablation",
-		"eviction", "loadlatency", "accelerator", "diurnal", "dramsim",
+		"eviction", "loadlatency", "multiget", "accelerator", "diurnal", "dramsim",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments: %v", len(ids), ids)
@@ -226,6 +226,48 @@ func TestEvictionQualityShape(t *testing.T) {
 		}
 		if bags > lru+3 {
 			t.Fatalf("bags should not beat LRU materially: %v vs %v", bags, lru)
+		}
+	}
+}
+
+func TestMultigetShape(t *testing.T) {
+	r := runQuick(t, "multiget")
+	if len(r.Tables) != 2 {
+		t.Fatalf("multiget needs sim and live tables, got %d", len(r.Tables))
+	}
+	// Sim table: A7 keys/s must grow monotonically with batch size, and
+	// the 64-key speedup must be a real multiple of single-key GETs.
+	simTbl := r.Tables[0]
+	prev := 0.0
+	for _, row := range simTbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad A7 keys/s cell %q", row[1])
+		}
+		if v <= prev {
+			t.Fatalf("A7 keys/s must grow with batch size:\n%s", simTbl.String())
+		}
+		prev = v
+	}
+	last := simTbl.Rows[len(simTbl.Rows)-1]
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(last[2], "x"), 64)
+	if err != nil || speedup < 2 {
+		t.Fatalf("64-key A7 speedup = %q, want >= 2x", last[2])
+	}
+	// Live table: allocations per batch must be zero in steady state and
+	// shard locks per batch must stay within the Shards bound.
+	for _, row := range r.Tables[1].Rows {
+		locks, err1 := strconv.ParseFloat(row[1], 64)
+		allocs, err2 := strconv.ParseFloat(row[2], 64)
+		bound, err3 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable live row %v", row)
+		}
+		if allocs != 0 {
+			t.Fatalf("batch %s allocates %.1f per op on the hot path:\n%s", row[0], allocs, r.Tables[1].String())
+		}
+		if locks > bound {
+			t.Fatalf("batch %s takes %.1f locks, beyond the %v-shard bound", row[0], locks, bound)
 		}
 	}
 }

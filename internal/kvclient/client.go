@@ -261,8 +261,35 @@ func (c *Client) GetMulti(keys []string) (map[string]Item, error) {
 }
 
 func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
+	// A zero-key multiget would serialize as "get \r\n" — a malformed
+	// request the server answers with ERROR, leaving the caller with a
+	// protocol error for what is semantically an empty result. The same
+	// applies to empty-string keys, and duplicate keys make the server
+	// answer (and ship) the same value twice. Normalize before writing.
+	unique := keys
+	if len(keys) > 1 {
+		seen := make(map[string]struct{}, len(keys))
+		unique = make([]string, 0, len(keys))
+		for _, k := range keys {
+			if _, dup := seen[k]; dup || k == "" {
+				continue
+			}
+			seen[k] = struct{}{}
+			unique = append(unique, k)
+		}
+	} else if len(keys) == 1 && keys[0] == "" {
+		unique = nil
+	}
+	if len(unique) == 0 {
+		return nil, nil
+	}
 	c.armWrite()
-	fmt.Fprintf(c.w, "%s %s\r\n", verb, strings.Join(keys, " "))
+	c.w.WriteString(verb)
+	for _, k := range unique {
+		c.w.WriteByte(' ')
+		c.w.WriteString(k)
+	}
+	c.w.WriteString("\r\n")
 	if err := c.flush(); err != nil {
 		return nil, err
 	}
@@ -298,6 +325,13 @@ func (c *Client) getMulti(verb string, keys []string) ([]Item, error) {
 		c.armRead()
 		if _, err := io.ReadFull(c.r, buf); err != nil {
 			return nil, err
+		}
+		// The two bytes after the value must be the \r\n terminator. If
+		// they are anything else the advertised length was wrong and the
+		// stream is desynchronized — every later response would be parsed
+		// against the wrong framing, so fail loudly instead.
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return nil, fmt.Errorf("%w: value for %q not terminated by CRLF (stream desynchronized)", ErrProtocol, fields[1])
 		}
 		items = append(items, Item{Key: fields[1], Value: buf[:n], Flags: uint32(flags), CAS: cas})
 	}

@@ -37,6 +37,7 @@ type ClusterClient struct {
 	maxDelay   time.Duration
 	ejectAfter int
 	probation  time.Duration
+	fanout     int
 
 	sleep  func(time.Duration)
 	jitter func() float64
@@ -107,6 +108,11 @@ type ClusterConfig struct {
 	// Jitter replaces the backoff jitter draw, which must return values
 	// in [0, 1). Default: a seeded deterministic generator.
 	Jitter func() float64
+	// MultigetFanout bounds how many per-node multigets GetMulti has in
+	// flight at once (default 4). Each node's connection is serialized
+	// anyway, so the bound only limits cross-node parallelism.
+	MultigetFanout int
+
 	// Probes optionally receives kvclient.* counters (retries,
 	// transport_errors, busy, ejections, readmissions, failovers).
 	Probes *obs.Registry
@@ -147,6 +153,9 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.MultigetFanout <= 0 {
+		cfg.MultigetFanout = 4
+	}
 	opts := Options{DialTimeout: cfg.DialTimeout, OpTimeout: cfg.OpTimeout}
 	c := &ClusterClient{
 		ring:       cluster.NewRing(cfg.VirtualNodes),
@@ -156,6 +165,7 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		maxDelay:   cfg.RetryMaxDelay,
 		ejectAfter: cfg.EjectAfter,
 		probation:  cfg.Probation,
+		fanout:     cfg.MultigetFanout,
 		sleep:      cfg.Sleep,
 		jitter:     cfg.Jitter,
 		probes:     cfg.Probes,
@@ -190,6 +200,12 @@ func (c *ClusterClient) seededJitter() float64 {
 func (c *ClusterClient) count(name string) {
 	if c.probes != nil {
 		c.probes.Counter(name).Add(1)
+	}
+}
+
+func (c *ClusterClient) countN(name string, n int) {
+	if c.probes != nil && n > 0 {
+		c.probes.Counter(name).Add(int64(n))
 	}
 }
 
@@ -423,6 +439,131 @@ func (c *ClusterClient) getOnce(key string) (Item, error) {
 		lastErr = err
 	}
 	return Item{}, lastErr
+}
+
+// GetMulti fetches many keys in one scatter-gather pass: keys are
+// partitioned by their ring placement, each involved node receives one
+// pipelined multiget (bounded by MultigetFanout concurrent node
+// operations), and the per-node answers merge into a single map.
+//
+// Failure semantics are partial: a key served by a healthy node but not
+// present is simply absent from the result (as in Client.GetMulti); a
+// node that fails its multiget — after the usual per-node retries and
+// circuit-breaker accounting — hands its keys to the next replica rank,
+// and only keys whose every replica failed surface as an error. The
+// returned map is always valid: on error it holds whatever the healthy
+// replicas answered, so callers can treat unreturned keys as misses and
+// refetch from the backing store.
+func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
+	// Normalize: duplicates collapse and empty keys drop, mirroring the
+	// single-connection client, so result accounting below is per unique
+	// key.
+	unique := make([]string, 0, len(keys))
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup || k == "" {
+			continue
+		}
+		seen[k] = struct{}{}
+		unique = append(unique, k)
+	}
+	results := make(map[string]Item, len(unique))
+	if len(unique) == 0 {
+		return results, nil
+	}
+
+	// Freeze each key's replica set up front. Ejections during the
+	// scatter would otherwise reshuffle ring ranks mid-flight and make a
+	// key skip the replica that actually holds it. An empty ring is
+	// retried like any other transient failure.
+	owners := make(map[string][]string, len(unique))
+	if err := c.withRetry(func() error {
+		c.maybeReadmit()
+		for _, k := range unique {
+			o, err := c.ownersFor(k)
+			if err != nil {
+				return err
+			}
+			owners[k] = o
+		}
+		return nil
+	}); err != nil {
+		return results, err
+	}
+
+	var (
+		resMu   sync.Mutex // guards results
+		nextMu  sync.Mutex // guards next and lastErr
+		pending = unique
+		lastErr error
+	)
+	for rank := 0; len(pending) > 0; rank++ {
+		// Group this round's keys by their rank-th replica; keys that
+		// have run out of replicas stay in pending and fall out below.
+		groups := make(map[string][]string)
+		for _, k := range pending {
+			if o := owners[k]; rank < len(o) {
+				groups[o[rank]] = append(groups[o[rank]], k)
+			}
+		}
+		if len(groups) == 0 {
+			break
+		}
+		var next []string
+		sem := make(chan struct{}, c.fanout)
+		var wg sync.WaitGroup
+		for addr, group := range groups {
+			wg.Add(1)
+			go func(addr string, group []string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				var items map[string]Item
+				err := c.withRetry(func() error {
+					e := c.opOnNode(addr, func(conn *Client) error {
+						var ge error
+						items, ge = conn.GetMulti(group)
+						return ge
+					})
+					if e == nil {
+						c.recordSuccess(addr)
+						return nil
+					}
+					if isTransport(e) {
+						c.recordFailure(addr)
+					} else if errors.Is(e, ErrBusy) {
+						c.count("kvclient.busy")
+					}
+					return e
+				})
+				if err == nil {
+					resMu.Lock()
+					for k, it := range items {
+						results[k] = it
+					}
+					resMu.Unlock()
+					if rank > 0 {
+						c.countN("kvclient.failovers", len(group))
+					}
+					return
+				}
+				nextMu.Lock()
+				next = append(next, group...)
+				lastErr = err
+				nextMu.Unlock()
+			}(addr, group)
+		}
+		wg.Wait()
+		pending = next
+	}
+	if n := len(pending); n > 0 {
+		if lastErr == nil {
+			lastErr = ErrNoNodes
+		}
+		return results, fmt.Errorf("kvclient: multiget: %d of %d keys unreachable on every replica: %w",
+			n, len(unique), lastErr)
+	}
+	return results, nil
 }
 
 // Set writes a key to all replicas; it succeeds if at least one replica

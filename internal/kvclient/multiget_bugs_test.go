@@ -1,0 +1,240 @@
+package kvclient
+
+// Regression tests for three protocol bugs fixed in the multiget PR:
+//
+//   - getMulti with zero (or all-empty) keys used to write "get \r\n",
+//     a malformed request the server answers with ERROR; duplicate keys
+//     were sent and answered twice.
+//   - getMulti trusted the advertised value length: it read n+2 bytes
+//     but never checked the last two were CRLF, so a lying server
+//     silently desynchronized the stream instead of failing fast.
+//   - UDP reassembly let whichever fragment arrived last overwrite the
+//     datagram count, so a corrupt fragment could truncate the value or
+//     park the client until timeout.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedServer runs a one-shot ASCII exchange on the remote end of a
+// pipe: read one request line, check it, write the canned response.
+func scriptedServer(t *testing.T, remote net.Conn, wantLine, response string) <-chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer remote.Close()
+		line, err := bufio.NewReader(remote).ReadString('\n')
+		if err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if got := strings.TrimRight(line, "\r\n"); got != wantLine {
+			t.Errorf("server received %q, want %q", got, wantLine)
+		}
+		if _, err := remote.Write([]byte(response)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	return done
+}
+
+func TestGetMultiZeroKeysIsLocalNoop(t *testing.T) {
+	// No server goroutine: net.Pipe writes rendezvous with a reader, so
+	// if the client attempted any I/O this test would hang on the
+	// deadline instead of returning instantly.
+	local, remote := net.Pipe()
+	defer local.Close()
+	defer remote.Close()
+	c := NewClientOptions(local, Options{OpTimeout: 100 * time.Millisecond})
+
+	for _, keys := range [][]string{nil, {}, {""}, {"", ""}} {
+		items, err := c.GetMulti(keys)
+		if err != nil {
+			t.Fatalf("GetMulti(%q) = %v, want nil error", keys, err)
+		}
+		if len(items) != 0 {
+			t.Fatalf("GetMulti(%q) = %d items, want 0", keys, len(items))
+		}
+	}
+}
+
+func TestGetMultiDeduplicatesKeys(t *testing.T) {
+	local, remote := net.Pipe()
+	defer local.Close()
+	done := scriptedServer(t, remote,
+		"get alpha beta", // duplicates and the empty key are stripped, order kept
+		"VALUE alpha 7 2\r\nva\r\nVALUE beta 9 2\r\nvb\r\nEND\r\n")
+	c := NewClient(local)
+
+	items, err := c.GetMulti([]string{"alpha", "beta", "alpha", "", "beta"})
+	if err != nil {
+		t.Fatalf("GetMulti: %v", err)
+	}
+	<-done
+	if len(items) != 2 {
+		t.Fatalf("GetMulti returned %d items, want 2", len(items))
+	}
+	if string(items["alpha"].Value) != "va" || items["alpha"].Flags != 7 {
+		t.Fatalf("alpha = %+v", items["alpha"])
+	}
+	if string(items["beta"].Value) != "vb" || items["beta"].Flags != 9 {
+		t.Fatalf("beta = %+v", items["beta"])
+	}
+}
+
+// TestGetMultiTrailerDesync feeds the client a hostile response whose
+// VALUE header advertises a length shorter than the bytes that follow.
+// The old code returned a truncated value and left the reader pointed
+// mid-stream; it must now detect the missing CRLF and fail with
+// ErrProtocol.
+func TestGetMultiTrailerDesync(t *testing.T) {
+	local, remote := net.Pipe()
+	defer local.Close()
+	done := scriptedServer(t, remote,
+		"get k",
+		"VALUE k 0 3\r\nabcde\r\nEND\r\n") // claims 3 bytes, value is 5
+	c := NewClient(local)
+
+	_, err := c.GetMulti([]string{"k"})
+	<-done
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("desynchronized stream returned %v, want ErrProtocol", err)
+	}
+}
+
+func TestGetMultiValidTrailerStillWorks(t *testing.T) {
+	local, remote := net.Pipe()
+	defer local.Close()
+	done := scriptedServer(t, remote,
+		"gets k",
+		"VALUE k 3 5 42\r\nhello\r\nEND\r\n")
+	c := NewClient(local)
+
+	it, err := c.Gets("k")
+	<-done
+	if err != nil {
+		t.Fatalf("Gets: %v", err)
+	}
+	if string(it.Value) != "hello" || it.Flags != 3 || it.CAS != 42 {
+		t.Fatalf("Gets = %+v", it)
+	}
+}
+
+// udpExchange starts a one-shot UDP responder: it waits for one request
+// datagram and answers with the frames produced by respond(reqID).
+// Returns a client dialed at the responder.
+func udpExchange(t *testing.T, respond func(reqID uint16) [][]byte) *UDPClient {
+	t.Helper()
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	go func() {
+		buf := make([]byte, 2048)
+		n, addr, err := srv.ReadFromUDP(buf)
+		if err != nil || n < 8 {
+			return
+		}
+		reqID := binary.BigEndian.Uint16(buf[0:])
+		for _, frame := range respond(reqID) {
+			srv.WriteToUDP(frame, addr)
+		}
+	}()
+	c, err := DialUDP(srv.LocalAddr().String(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// udpFrame builds one response datagram: 8-byte header + payload chunk.
+func udpFrame(reqID, seq, count uint16, payload string) []byte {
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(frame[0:], reqID)
+	binary.BigEndian.PutUint16(frame[2:], seq)
+	binary.BigEndian.PutUint16(frame[4:], count)
+	copy(frame[8:], payload)
+	return frame
+}
+
+// TestUDPGetMismatchedFragmentCounts: two fragments of one response
+// disagree about the datagram count. The old client let the last
+// arrival win; it must now reject the response outright.
+func TestUDPGetMismatchedFragmentCounts(t *testing.T) {
+	c := udpExchange(t, func(reqID uint16) [][]byte {
+		return [][]byte{
+			udpFrame(reqID, 0, 3, "VALUE k 0 10\r\nabcde"),
+			udpFrame(reqID, 1, 2, "fghij\r\nEND\r\n"), // lies: count 2, first said 3
+		}
+	})
+	_, err := c.Get("k")
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("mismatched counts returned %v, want ErrProtocol", err)
+	}
+}
+
+func TestUDPGetSeqOutOfRange(t *testing.T) {
+	c := udpExchange(t, func(reqID uint16) [][]byte {
+		return [][]byte{udpFrame(reqID, 5, 2, "VALUE k 0 2\r\nhi\r\nEND\r\n")}
+	})
+	_, err := c.Get("k")
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("out-of-range seq returned %v, want ErrProtocol", err)
+	}
+}
+
+// TestUDPGetMissingEndTrailer: all advertised fragments arrive but the
+// reassembled response stops mid-value — the header's count undersold
+// the payload. Must fail instead of returning a truncated item.
+func TestUDPGetMissingEndTrailer(t *testing.T) {
+	c := udpExchange(t, func(reqID uint16) [][]byte {
+		return [][]byte{udpFrame(reqID, 0, 1, "VALUE k 0 50\r\nonly-part-of-the-value")}
+	})
+	_, err := c.Get("k")
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("missing END returned %v, want ErrProtocol", err)
+	}
+}
+
+// TestUDPGetOutOfOrderWithDuplicates: the positive case — fragments
+// arriving reordered, with one duplicated (UDP may duplicate), still
+// reassemble into the right value.
+func TestUDPGetOutOfOrderWithDuplicates(t *testing.T) {
+	c := udpExchange(t, func(reqID uint16) [][]byte {
+		return [][]byte{
+			udpFrame(reqID, 2, 3, "ij\r\nEND\r\n"),
+			udpFrame(reqID, 0, 3, "VALUE k 6 10\r\nabc"),
+			udpFrame(reqID, 0, 3, "VALUE k 6 10\r\nabc"), // duplicate of seq 0
+			udpFrame(reqID, 1, 3, "defgh"),
+		}
+	})
+	it, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(it.Value) != "abcdefghij" || it.Flags != 6 {
+		t.Fatalf("Get = %+v, want value abcdefghij flags 6", it)
+	}
+}
+
+// TestUDPGetValueTrailerMismatch: single datagram whose value bytes and
+// advertised length disagree but which still ends in END — the parser
+// must catch the bad CRLF position.
+func TestUDPGetValueTrailerMismatch(t *testing.T) {
+	c := udpExchange(t, func(reqID uint16) [][]byte {
+		return [][]byte{udpFrame(reqID, 0, 1, "VALUE k 0 3\r\nabcde\r\nEND\r\n")}
+	})
+	_, err := c.Get("k")
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad value trailer returned %v, want ErrProtocol", err)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -80,25 +79,50 @@ func (c *UDPClient) Get(key string) (Item, error) {
 			continue // stale or foreign datagram
 		}
 		seq := binary.BigEndian.Uint16(c.buf[2:])
-		total = int(binary.BigEndian.Uint16(c.buf[4:]))
+		count := int(binary.BigEndian.Uint16(c.buf[4:]))
+		// The datagram count is pinned by the first fragment of this
+		// request; a later fragment advertising a different count means
+		// the response is corrupt (or two responses share a request id)
+		// and reassembly can never be trusted — previously the last
+		// arrival silently won, so a short count could truncate the value
+		// and a long one could hang until timeout.
+		if count <= 0 {
+			return Item{}, fmt.Errorf("%w: udp fragment with zero datagram count", ErrProtocol)
+		}
+		if total < 0 {
+			total = count
+		} else if count != total {
+			return Item{}, fmt.Errorf("%w: udp fragment count changed %d -> %d", ErrProtocol, total, count)
+		}
+		if int(seq) >= total {
+			return Item{}, fmt.Errorf("%w: udp fragment seq %d out of range for count %d", ErrProtocol, seq, total)
+		}
+		if _, dup := frags[seq]; dup {
+			continue // retransmitted fragment; keep the first copy
+		}
 		body := make([]byte, n-8)
 		copy(body, c.buf[8:n])
 		frags[seq] = body
-		if total > 0 && len(frags) == total {
+		if len(frags) == total {
 			break
 		}
 	}
-	// Reassemble in sequence order.
-	seqs := make([]int, 0, len(frags))
-	for s := range frags {
-		seqs = append(seqs, int(s))
-	}
-	sort.Ints(seqs)
+	// Reassemble in sequence order: seqs are exactly 0..total-1 by now.
 	var resp bytes.Buffer
-	for _, s := range seqs {
+	for s := 0; s < total; s++ {
 		resp.Write(frags[uint16(s)])
 	}
-	return parseSingleGet(resp.String(), key)
+	// A well-formed GET response — hit or miss — ends with the END
+	// trailer; if it is missing after reassembling all advertised
+	// fragments, the count in the header lied about the payload extent.
+	// Single-line error replies (ERROR, SERVER_ERROR ...) have no END
+	// and are classified by the parser below.
+	reply := resp.String()
+	if (strings.HasPrefix(reply, "VALUE ") || strings.HasPrefix(reply, "END")) &&
+		!strings.HasSuffix(reply, "END\r\n") {
+		return Item{}, fmt.Errorf("%w: reassembled udp response missing END trailer", ErrProtocol)
+	}
+	return parseSingleGet(reply, key)
 }
 
 // parseSingleGet decodes a one-key "VALUE ...\r\n<data>\r\nEND\r\n"
@@ -122,6 +146,11 @@ func parseSingleGet(resp, key string) (Item, error) {
 	n, err := strconv.Atoi(fields[3])
 	if err != nil || n < 0 || len(rest) < n {
 		return Item{}, fmt.Errorf("%w: bad length %q", ErrProtocol, fields[3])
+	}
+	// The value must be followed by its CRLF terminator; anything else
+	// means the advertised length and the payload disagree.
+	if len(rest) < n+2 || rest[n] != '\r' || rest[n+1] != '\n' {
+		return Item{}, fmt.Errorf("%w: value for %q not terminated by CRLF", ErrProtocol, key)
 	}
 	return Item{Key: key, Value: []byte(rest[:n]), Flags: uint32(flags)}, nil
 }

@@ -1,0 +1,274 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newBatchStore(t *testing.T, shards int) *Store {
+	t.Helper()
+	cfg := DefaultConfig(32 << 20)
+	cfg.Shards = shards
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestGetBatchMatchesPerKeyGet(t *testing.T) {
+	st := newBatchStore(t, 8)
+	var keys []string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key:%03d", i)
+		keys = append(keys, k)
+		if i%3 != 0 { // leave every third key a miss
+			if err := st.Set(k, []byte(fmt.Sprintf("val:%03d", i)), uint32(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := st.GetBatch(keys)
+	if len(got) != len(keys) {
+		t.Fatalf("GetBatch returned %d entries for %d keys", len(got), len(keys))
+	}
+	for i, k := range keys {
+		e, ok := st.Get(k)
+		if got[i].Found != ok {
+			t.Fatalf("key %q: batch found=%v, Get found=%v", k, got[i].Found, ok)
+		}
+		if !ok {
+			continue
+		}
+		if !bytes.Equal(got[i].Value, e.Value) || got[i].Flags != e.Flags || got[i].CAS != e.CAS {
+			t.Fatalf("key %q: batch (%q,%d,%d) != Get (%q,%d,%d)",
+				k, got[i].Value, got[i].Flags, got[i].CAS, e.Value, e.Flags, e.CAS)
+		}
+	}
+}
+
+func TestGetBatchPreservesOrderAndDuplicates(t *testing.T) {
+	st := newBatchStore(t, 4)
+	if err := st.Set("a", []byte("va"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("b", []byte("vb"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := st.GetBatch([]string{"b", "missing", "a", "b", "a"})
+	want := []string{"vb", "", "va", "vb", "va"}
+	for i, w := range want {
+		if w == "" {
+			if got[i].Found {
+				t.Fatalf("entry %d: expected miss, got %q", i, got[i].Value)
+			}
+			continue
+		}
+		if !got[i].Found || string(got[i].Value) != w {
+			t.Fatalf("entry %d = (%q, found=%v), want %q", i, got[i].Value, got[i].Found, w)
+		}
+	}
+}
+
+func TestGetBatchEmpty(t *testing.T) {
+	st := newBatchStore(t, 4)
+	if got := st.GetBatch(nil); len(got) != 0 {
+		t.Fatalf("GetBatch(nil) = %d entries", len(got))
+	}
+	var scr BatchScratch
+	dst, out := st.GetBatchInto(nil, nil, nil, &scr)
+	if len(dst) != 0 || len(out) != 0 {
+		t.Fatalf("GetBatchInto(empty) = %d bytes, %d results", len(dst), len(out))
+	}
+}
+
+func TestGetBatchIntoMatchesGetBatch(t *testing.T) {
+	st := newBatchStore(t, 8)
+	var keys []string
+	var bkeys [][]byte
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key:%03d", i)
+		keys = append(keys, k)
+		bkeys = append(bkeys, []byte(k))
+		if i%4 != 1 {
+			if err := st.Set(k, bytes.Repeat([]byte{byte('a' + i%26)}, 8+i), uint32(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := st.GetBatch(keys)
+	var scr BatchScratch
+	dst, out := st.GetBatchInto(nil, bkeys, nil, &scr)
+	if len(out) != len(want) {
+		t.Fatalf("GetBatchInto returned %d results, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i].Found != want[i].Found || out[i].Flags != want[i].Flags || out[i].CAS != want[i].CAS {
+			t.Fatalf("result %d metadata mismatch: %+v vs %+v", i, out[i], want[i])
+		}
+		if got := dst[out[i].Start:out[i].End]; !bytes.Equal(got, want[i].Value) {
+			t.Fatalf("result %d value %q, want %q", i, got, want[i].Value)
+		}
+	}
+}
+
+// TestGetBatchLockCount pins the tentpole contract: one batch acquires
+// each involved shard's lock at most once, so the acquisition count is
+// bounded by Shards no matter how many keys the batch carries.
+func TestGetBatchLockCount(t *testing.T) {
+	st := newBatchStore(t, 8)
+	shards := st.Config().Shards
+	var keys []string
+	var bkeys [][]byte
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key:%03d", i)
+		keys = append(keys, k)
+		bkeys = append(bkeys, []byte(k))
+		if err := st.Set(k, []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := st.ReadLockCount()
+	st.GetBatch(keys)
+	if locks := st.ReadLockCount() - before; locks > uint64(shards) {
+		t.Fatalf("GetBatch(64 keys) took %d shard locks, want <= %d", locks, shards)
+	}
+
+	var scr BatchScratch
+	before = st.ReadLockCount()
+	st.GetBatchInto(nil, bkeys, nil, &scr)
+	if locks := st.ReadLockCount() - before; locks > uint64(shards) {
+		t.Fatalf("GetBatchInto(64 keys) took %d shard locks, want <= %d", locks, shards)
+	}
+
+	// The per-key path really does cost one lock per key — the gap the
+	// batch closes.
+	before = st.ReadLockCount()
+	for _, k := range keys {
+		st.Get(k)
+	}
+	if locks := st.ReadLockCount() - before; locks != uint64(len(keys)) {
+		t.Fatalf("per-key Gets took %d locks, want %d", locks, len(keys))
+	}
+}
+
+// TestGetBatchConcurrentWriters runs batched readers against writers
+// under -race: every returned value must be self-consistent (a value
+// that was written for that exact key — never bytes from another key's
+// chunk) and result order must track request order.
+func TestGetBatchConcurrentWriters(t *testing.T) {
+	st := newBatchStore(t, 8)
+	const nKeys = 32
+	keys := make([]string, nKeys)
+	bkeys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%03d", i)
+		bkeys[i] = []byte(keys[i])
+		if err := st.Set(keys[i], []byte(keys[i]+":0"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for gen := 1; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := w; i < nKeys; i += 4 {
+					val := fmt.Sprintf("%s:%d", keys[i], gen)
+					if err := st.Set(keys[i], []byte(val), 0, 0); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	check := func(i int, val []byte, found bool) {
+		if !found {
+			t.Errorf("key %q vanished", keys[i])
+			return
+		}
+		if !strings.HasPrefix(string(val), keys[i]+":") {
+			t.Errorf("key %q returned foreign value %q", keys[i], val)
+		}
+	}
+	var scr BatchScratch
+	var dst []byte
+	var out []BatchResult
+	for r := 0; r < 400; r++ {
+		for i, e := range st.GetBatch(keys) {
+			check(i, e.Value, e.Found)
+		}
+		dst, out = st.GetBatchInto(dst[:0], bkeys, out[:0], &scr)
+		for i, e := range out {
+			check(i, dst[e.Start:e.End], e.Found)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkGetBatch64(b *testing.B) {
+	cfg := DefaultConfig(64 << 20)
+	cfg.Shards = 8
+	st, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bkeys := make([][]byte, 64)
+	for i := range bkeys {
+		k := fmt.Sprintf("key:%05d", i)
+		bkeys[i] = []byte(k)
+		if err := st.Set(k, bytes.Repeat([]byte("x"), 64), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var scr BatchScratch
+	var dst []byte
+	var out []BatchResult
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, out = st.GetBatchInto(dst[:0], bkeys, out[:0], &scr)
+	}
+	_ = out
+}
+
+func BenchmarkGetPerKey64(b *testing.B) {
+	cfg := DefaultConfig(64 << 20)
+	cfg.Shards = 8
+	st, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bkeys := make([][]byte, 64)
+	for i := range bkeys {
+		k := fmt.Sprintf("key:%05d", i)
+		bkeys[i] = []byte(k)
+		if err := st.Set(k, bytes.Repeat([]byte("x"), 64), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var dst []byte
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		for _, k := range bkeys {
+			dst, _, _ = st.GetIntoBytes(dst, k)
+		}
+	}
+}

@@ -87,7 +87,17 @@ type Store struct {
 	clock     Clock
 	cas       casCounter
 	startUnix int64
+	// readLocks counts shard-lock acquisitions on the GET paths (Get,
+	// GetInto, GetIntoBytes, and one per shard for the batch variants).
+	// It is the lock-count hook the multiget tests use to prove an
+	// N-key batch costs at most Shards acquisitions instead of N.
+	readLocks atomic.Uint64
 }
+
+// ReadLockCount reports the cumulative shard-lock acquisitions of the
+// GET paths (per key for the single-key calls, per involved shard for
+// the batch calls).
+func (st *Store) ReadLockCount() uint64 { return st.readLocks.Load() }
 
 type lockedShard struct {
 	mu sync.Mutex
@@ -194,6 +204,7 @@ func (st *Store) Get(key string) (Entry, bool) {
 	sh := st.shardFor(key)
 	now := st.clock()
 	sh.mu.Lock()
+	st.readLocks.Add(1)
 	v, flags, cas, ok := sh.s.get(key, now)
 	sh.mu.Unlock()
 	return Entry{Value: v, Flags: flags, CAS: cas}, ok
@@ -207,6 +218,7 @@ func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
 	sh := st.shardFor(key)
 	now := st.clock()
 	sh.mu.Lock()
+	st.readLocks.Add(1)
 	out, flags, cas, ok := sh.s.getInto(dst, key, now)
 	sh.mu.Unlock()
 	return out, Entry{Flags: flags, CAS: cas}, ok
@@ -221,6 +233,7 @@ func (st *Store) GetIntoBytes(dst, key []byte) ([]byte, Entry, bool) {
 	sh := st.shardForBytes(key)
 	now := st.clock()
 	sh.mu.Lock()
+	st.readLocks.Add(1)
 	out, flags, cas, ok := sh.s.getIntoBytes(dst, key, now)
 	sh.mu.Unlock()
 	return out, Entry{Flags: flags, CAS: cas}, ok

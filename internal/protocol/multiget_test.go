@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kv3d/internal/kvstore"
+)
+
+// multigetStore builds a store preloaded with n keys "key:NNN" = "val:NNN".
+func multigetStore(t *testing.T, n int) (*kvstore.Store, []string) {
+	t.Helper()
+	st := newStore(t)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%03d", i)
+		if err := st.Set(keys[i], []byte(fmt.Sprintf("val:%03d", i)), uint32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, keys
+}
+
+// TestMultigetMatchesPerKeyGets: a multi-key get must answer exactly
+// what the same keys answered one command at a time, in request order.
+func TestMultigetMatchesPerKeyGets(t *testing.T) {
+	for _, verb := range []string{"get", "gets"} {
+		st, keys := multigetStore(t, 20)
+		// Mix hits, misses and duplicates.
+		req := append([]string{}, keys[:10]...)
+		req = append(req, "missing-a", keys[3], "missing-b", keys[7])
+
+		var perKey strings.Builder
+		for _, k := range req {
+			perKey.WriteString(run(t, st, verb+" "+k+"\r\n"))
+		}
+		// Per-key output is one END per command; the batched form has a
+		// single trailing END.
+		wantBody := strings.ReplaceAll(perKey.String(), "END\r\n", "")
+
+		batched := run(t, st, verb+" "+strings.Join(req, " ")+"\r\n")
+		if batched != wantBody+"END\r\n" {
+			t.Fatalf("%s batched response diverges:\n got %q\nwant %q", verb, batched, wantBody+"END\r\n")
+		}
+	}
+}
+
+// TestMultigetLockCount pins the acceptance criterion end to end: a
+// 64-key ASCII multiget served through the session costs at most
+// Shards shard-lock acquisitions.
+func TestMultigetLockCount(t *testing.T) {
+	st, keys := multigetStore(t, 64)
+	shards := st.Config().Shards
+
+	before := st.ReadLockCount()
+	out := run(t, st, "get "+strings.Join(keys, " ")+"\r\n")
+	locks := st.ReadLockCount() - before
+
+	if got := strings.Count(out, "VALUE "); got != len(keys) {
+		t.Fatalf("multiget answered %d of %d keys", got, len(keys))
+	}
+	if locks > uint64(shards) {
+		t.Fatalf("64-key multiget took %d shard locks, want <= %d", locks, shards)
+	}
+}
+
+// TestMultigetLargeBatchSizes exercises the sweep's batch sizes through
+// the wire path.
+func TestMultigetLargeBatchSizes(t *testing.T) {
+	st, keys := multigetStore(t, 64)
+	for _, k := range []int{1, 4, 16, 64} {
+		out := run(t, st, "get "+strings.Join(keys[:k], " ")+"\r\n")
+		if got := strings.Count(out, "VALUE "); got != k {
+			t.Fatalf("batch %d: answered %d keys: %q", k, got, out)
+		}
+		if !strings.HasSuffix(out, "END\r\n") {
+			t.Fatalf("batch %d: missing END: %q", k, out)
+		}
+	}
+}
+
+// TestMultigetEmptyAndWhitespace: "get" with no key is an error;
+// trailing spaces after the last key must not confuse the tokenizer.
+func TestMultigetEmptyAndWhitespace(t *testing.T) {
+	st, _ := multigetStore(t, 2)
+	if out := run(t, st, "get\r\n"); out != "ERROR\r\n" {
+		t.Fatalf("bare get = %q", out)
+	}
+	out := run(t, st, "get key:000 key:001  \r\n")
+	if strings.Count(out, "VALUE ") != 2 || !strings.HasSuffix(out, "END\r\n") {
+		t.Fatalf("trailing-space multiget = %q", out)
+	}
+}

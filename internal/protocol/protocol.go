@@ -66,6 +66,11 @@ type Session struct {
 	valBuf  []byte
 	lineBuf []byte
 	numBuf  []byte
+	// multiget scratch: key tokens of the current command line, the
+	// per-key batch results, and the store-side grouping state.
+	keyBuf   [][]byte
+	batchBuf []kvstore.BatchResult
+	batchScr kvstore.BatchScratch
 
 	// Optional per-op observation; the clock is injected by the server
 	// layer so this package never reads wall time itself.
@@ -303,38 +308,73 @@ func wantsNoReply(args []string) bool {
 // assembled with strconv.Append into the reused numBuf (intermediate
 // bufio writes lean on the sticky-error contract; Flush reports).
 //
+// A single-key get takes the direct per-key path; a multi-key get is
+// served through kvstore.GetBatchInto, which groups the keys by shard
+// and acquires each involved shard's lock once — an N-key get costs at
+// most Shards lock acquisitions instead of N.
+//
 //kv3d:hotpath
 func (s *Session) doGet(rest []byte, withCAS bool) error {
 	key, rest := nextToken(rest)
 	if len(key) == 0 {
 		return s.reply(respError)
 	}
-	for len(key) > 0 {
-		s.valBuf = s.valBuf[:0]
-		out, e, ok := s.store.GetIntoBytes(s.valBuf, key)
+	second, rest := nextToken(rest)
+	if len(second) == 0 {
+		// Single-key fast path, identical to the seed behaviour.
+		out, e, ok := s.store.GetIntoBytes(s.valBuf[:0], key)
 		s.valBuf = out[:0]
 		if ok {
-			s.w.WriteString("VALUE ")
-			s.w.Write(key)
-			b := append(s.numBuf[:0], ' ')
-			b = strconv.AppendUint(b, uint64(e.Flags), 10)
-			b = append(b, ' ')
-			b = strconv.AppendInt(b, int64(len(out)), 10)
-			if withCAS {
-				b = append(b, ' ')
-				b = strconv.AppendUint(b, e.CAS, 10)
-			}
-			s.numBuf = append(b, '\r', '\n')
-			s.w.Write(s.numBuf)
-			s.w.Write(out)
-			s.w.WriteString("\r\n")
+			s.writeValue(key, out, e.Flags, e.CAS, withCAS)
 		}
+		if _, err := s.w.WriteString(respEnd); err != nil {
+			return err
+		}
+		return s.w.Flush()
+	}
+	// Multi-key: collect the tokens (they alias lineBuf, which stays
+	// untouched until the next readLine), run one batched lookup, then
+	// emit VALUE blocks in request order.
+	s.keyBuf = append(s.keyBuf[:0], key, second)
+	for {
 		key, rest = nextToken(rest)
+		if len(key) == 0 {
+			break
+		}
+		s.keyBuf = append(s.keyBuf, key)
+	}
+	s.valBuf, s.batchBuf = s.store.GetBatchInto(s.valBuf[:0], s.keyBuf, s.batchBuf[:0], &s.batchScr)
+	for i, r := range s.batchBuf {
+		if r.Found {
+			s.writeValue(s.keyBuf[i], s.valBuf[r.Start:r.End], r.Flags, r.CAS, withCAS)
+		}
 	}
 	if _, err := s.w.WriteString(respEnd); err != nil {
 		return err
 	}
 	return s.w.Flush()
+}
+
+// writeValue emits one "VALUE <key> <flags> <len> [<cas>]\r\n<data>\r\n"
+// block into the session writer (sticky-error contract; the caller's
+// Flush reports failures).
+//
+//kv3d:hotpath
+func (s *Session) writeValue(key, val []byte, flags uint32, cas uint64, withCAS bool) {
+	s.w.WriteString("VALUE ")
+	s.w.Write(key)
+	b := append(s.numBuf[:0], ' ')
+	b = strconv.AppendUint(b, uint64(flags), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(len(val)), 10)
+	if withCAS {
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cas, 10)
+	}
+	s.numBuf = append(b, '\r', '\n')
+	s.w.Write(s.numBuf)
+	s.w.Write(val)
+	s.w.WriteString("\r\n")
 }
 
 // parseStorageArgs parses "<key> <flags> <exptime> <bytes> [noreply]".

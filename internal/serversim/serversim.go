@@ -29,6 +29,13 @@ type Config struct {
 	// Op and ValueBytes shape every request.
 	Op         stackmodel.Op
 	ValueBytes int64
+	// BatchSize turns each GET arrival into a k-key multiget (0 and 1
+	// mean plain single-key requests — the arrival process, routing, and
+	// results are then bit-identical to the pre-multiget model). With
+	// k>1 every arrival demands ServiceTimeMultiget(k, ValueBytes), so
+	// CompletedTPS counts batches and key throughput is CompletedTPS×k.
+	// Only meaningful for Op == Get.
+	BatchSize int
 	// OfferedTPS is the open-loop arrival rate for the whole server.
 	OfferedTPS float64
 	// ZipfSkew skews key popularity (0 = uniform keys).
@@ -135,12 +142,19 @@ func Run(cfg Config) (Result, error) {
 		cfg.WarmupFraction = 0.2
 	}
 
+	if cfg.BatchSize > 1 && cfg.Op != stackmodel.Get {
+		return Result{}, fmt.Errorf("serversim: batch size %d only applies to GETs", cfg.BatchSize)
+	}
+
 	// Per-request service demand, from the calibrated stack model.
 	ref, err := stackmodel.NewStack(cfg.Stack)
 	if err != nil {
 		return Result{}, err
 	}
 	service := ref.ServiceTime(cfg.Op, cfg.ValueBytes)
+	if cfg.BatchSize > 1 {
+		service = ref.ServiceTimeMultiget(cfg.BatchSize, cfg.ValueBytes)
+	}
 
 	s := sim.New()
 	tr := cfg.Trace
@@ -318,12 +332,16 @@ func Run(cfg Config) (Result, error) {
 }
 
 // NominalTPS returns the linear-scaling capacity the paper reports:
-// stacks x cores / service time.
+// stacks x cores / service time. With BatchSize > 1 the rate is in
+// batches per second, matching Result.CompletedTPS.
 func NominalTPS(cfg Config) (float64, error) {
 	ref, err := stackmodel.NewStack(cfg.Stack)
 	if err != nil {
 		return 0, err
 	}
 	service := ref.ServiceTime(cfg.Op, cfg.ValueBytes)
+	if cfg.BatchSize > 1 {
+		service = ref.ServiceTimeMultiget(cfg.BatchSize, cfg.ValueBytes)
+	}
 	return float64(cfg.Stacks) * float64(cfg.Stack.CoresPerStack) / service.Seconds(), nil
 }

@@ -61,6 +61,18 @@ type RequestCosts struct {
 	// item copy a PUT performs (an in-cache memcpy is faster than the
 	// kernel network path).
 	SlabCopyFactor float64
+
+	// Multiget amortization. A k-key batched GET enters and leaves the
+	// kernel once: the per-request network-stack cost (GetNetInstr — the
+	// 87% of Figure 4a) is paid once per batch, and each key beyond the
+	// first adds only the marginal parse/serialize work below plus its
+	// own hash + metadata phases. At k=1 a multiget degenerates to the
+	// plain GET decomposition exactly.
+	MultigetPerKeyNetInstr  float64
+	MultigetPerKeyNetMisses float64
+	// MultigetPerKeyReqBytes is the request-payload growth per extra key
+	// ("get k1 k2 ...": one more space-separated key token).
+	MultigetPerKeyReqBytes int64
 }
 
 // DefaultCosts returns the calibrated cost set used by every experiment.
@@ -90,6 +102,13 @@ func DefaultCosts() RequestCosts {
 
 		FlashPutPrograms: 5,
 		SlabCopyFactor:   4,
+
+		// ~10% of the full per-request netstack cost per marginal key:
+		// socket read of a longer line, one more VALUE header, and the
+		// response append — no extra syscall, interrupt, or TCP work.
+		MultigetPerKeyNetInstr:  2500,
+		MultigetPerKeyNetMisses: 120,
+		MultigetPerKeyReqBytes:  25,
 	}
 }
 
