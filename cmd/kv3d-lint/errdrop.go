@@ -19,7 +19,7 @@ import (
 //
 // A drop is a sink call used as a bare statement, deferred, or with
 // every result assigned to blank. Deliberate drops need
-// `//nolint:kv3d // <why>`.
+// `//nolint:kv3d -- <why>`.
 //
 // Typed mode only.
 

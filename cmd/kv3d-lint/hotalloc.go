@@ -33,7 +33,7 @@ import (
 // shape of validation branches). Misclassification here is backstopped
 // by the testing.AllocsPerRun gates in hotpath_alloc_test.go, which
 // measure the real paths. Deliberate exceptions carry
-// `//nolint:kv3d // <why>`.
+// `//nolint:kv3d -- <why>`.
 //
 // Typed mode only.
 

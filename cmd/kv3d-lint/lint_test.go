@@ -154,14 +154,15 @@ func TestNolintSuppressionRequiresReason(t *testing.T) {
 	a := writeModule(t, map[string]string{
 		"internal/sim/sim.go": `package sim
 import "time"
-func A() int64 { return time.Now().Unix() } //nolint:kv3d // test fixture: sanctioned wall-clock read
+func A() int64 { return time.Now().Unix() } //nolint:kv3d -- test fixture: sanctioned wall-clock read
 func B() int64 { return time.Now().Unix() } //nolint:kv3d
-func C() int64 { return time.Now().Unix() }`,
+func C() int64 { return time.Now().Unix() } //nolint:kv3d // legacy separator is no longer a justification
+func D() int64 { return time.Now().Unix() }`,
 	})
 	fs := applyNolint(a, checkDeterminism(a))
-	// A is suppressed; B keeps its finding plus a missing-reason finding;
-	// C keeps its finding.
-	assertFindings(t, fs, 3, "nolint:kv3d requires a reason")
+	// A is suppressed; B and C keep their findings plus a
+	// missing-justification finding each; D keeps its finding.
+	assertFindings(t, fs, 5, "nolint:kv3d requires a justification")
 	for _, f := range fs {
 		if f.pos.Line == 3 {
 			t.Errorf("line 3 should be suppressed: %s", f.msg)

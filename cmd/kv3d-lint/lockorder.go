@@ -31,7 +31,7 @@ import (
 // analysis decidable. The walk is flow-insensitive within a body
 // (statements in source order, branches merged), which overapproximates
 // held sets slightly; suppress deliberate exceptions with
-// `//nolint:kv3d // <why>`.
+// `//nolint:kv3d -- <why>`.
 //
 // Typed mode only: lock classes and call targets come from resolved
 // types.Objects.

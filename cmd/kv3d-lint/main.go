@@ -28,13 +28,21 @@
 //	              (typed mode only)
 //	errdrop       dropped errors at flush/conn-write/renderer sinks
 //	              (typed mode only)
+//	syncguard     CFG-based lockset analysis (typed mode only): inferred
+//	              and annotated guarded-by relations (syncguard/guardedby),
+//	              mixed atomic/plain field access (syncguard/atomic), and
+//	              mutation after publication to another goroutine
+//	              (syncguard/publish)
 //
 // Findings print as "file:line:col: [check] message" and make the tool
-// exit 1. A finding is suppressed by an end-of-line directive
-// `//nolint:kv3d // <reason>`; the reason is mandatory.
+// exit 1; `-json` switches to one JSON object per finding (file, line,
+// col, check, message) for machine consumers. A finding is suppressed
+// by an end-of-line directive `//nolint:kv3d -- <reason>`; the reason
+// is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -51,16 +59,19 @@ var typedOnlyChecks = map[string]bool{
 	"lockorder": true,
 	"hotalloc":  true,
 	"errdrop":   true,
+	"syncguard": true,
 }
 
 func main() {
 	checksFlag := flag.String("checks",
-		"determinism,lockcheck,units,purity,lockorder,hotalloc,errdrop",
+		"determinism,lockcheck,units,purity,lockorder,hotalloc,errdrop,syncguard",
 		"comma-separated subset of checks to run")
 	modeFlag := flag.String("mode", "typed",
 		"resolution mode: typed (go/types, default) or ast (v1 parse-only fallback)")
+	jsonFlag := flag.Bool("json", false,
+		"emit findings as JSON, one object per line: {file, line, col, check, message}")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kv3d-lint [-checks list] [-mode typed|ast] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kv3d-lint [-checks list] [-mode typed|ast] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -121,6 +132,9 @@ func main() {
 	if enabled["errdrop"] {
 		findings = append(findings, checkErrDrop(a)...)
 	}
+	if enabled["syncguard"] {
+		findings = append(findings, checkSyncGuard(a)...)
+	}
 	findings = applyNolint(a, findings)
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -134,31 +148,58 @@ func main() {
 		return a.check < b.check
 	})
 	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", relPos(f.pos), f.check, f.msg)
-	}
-	if len(findings) > 0 {
-		fmt.Printf("kv3d-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-	linted := 0
-	for _, pkg := range a.pkgs {
-		if !pkg.depOnly {
-			linted++
+		if *jsonFlag {
+			out, _ := json.Marshal(jsonFinding{
+				File: relPos2(f.pos).Filename, Line: f.pos.Line, Col: f.pos.Column,
+				Check: f.check, Message: f.msg,
+			})
+			fmt.Println(string(out))
+		} else {
+			fmt.Printf("%s: [%s] %s\n", relPos(f.pos), f.check, f.msg)
 		}
 	}
-	fmt.Printf("kv3d-lint: %d package(s) clean\n", linted)
+	if len(findings) > 0 {
+		if !*jsonFlag {
+			fmt.Printf("kv3d-lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		linted := 0
+		for _, pkg := range a.pkgs {
+			if !pkg.depOnly {
+				linted++
+			}
+		}
+		fmt.Printf("kv3d-lint: %d package(s) clean\n", linted)
+	}
 }
 
-// relPos renders a position with a path relative to the working
-// directory when possible, matching compiler diagnostics.
-func relPos(p token.Position) string {
+// jsonFinding is the -json wire format, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// relPos2 is relPos without the string rendering: it relativizes the
+// filename in place for structured output.
+func relPos2(p token.Position) token.Position {
 	wd, err := os.Getwd()
 	if err == nil {
 		if rel, rerr := filepath.Rel(wd, p.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
 			p.Filename = rel
 		}
 	}
-	return p.String()
+	return p
+}
+
+// relPos renders a position with a path relative to the working
+// directory when possible, matching compiler diagnostics.
+func relPos(p token.Position) string {
+	return relPos2(p).String()
 }
 
 // importAliases returns the local names under which file imports any of
@@ -193,8 +234,10 @@ func importAliases(f *ast.File, paths ...string) (map[string]string, bool) {
 }
 
 // applyNolint drops findings on lines carrying a well-formed
-// `//nolint:kv3d // reason` directive and reports malformed directives
-// (missing reason) as findings of their own.
+// `//nolint:kv3d -- reason` directive and reports malformed directives
+// (missing reason, or the legacy `// reason` separator) as findings of
+// their own. The `--` separator is the one golangci-lint uses, so
+// editors and grep patterns carry over.
 func applyNolint(a *analysis, findings []finding) []finding {
 	type key struct {
 		file string
@@ -212,15 +255,18 @@ func applyNolint(a *analysis, findings []finding) []finding {
 					}
 					line := a.fset.Position(c.Slash).Line
 					rest := strings.TrimSpace(c.Text[idx+len("nolint:kv3d"):])
-					reason := strings.TrimSpace(strings.TrimPrefix(rest, "//"))
-					if !strings.HasPrefix(rest, "//") || reason == "" {
+					reason := ""
+					if cut, ok := strings.CutPrefix(rest, "--"); ok {
+						reason = strings.TrimSpace(cut)
+					}
+					if reason == "" {
 						if pkg.depOnly {
 							continue
 						}
 						out = append(out, finding{
 							pos:   a.fset.Position(c.Slash),
 							check: "nolint",
-							msg:   "nolint:kv3d requires a reason: use `//nolint:kv3d // <why this is safe>`",
+							msg:   "nolint:kv3d requires a justification: use `//nolint:kv3d -- <why this is safe>`",
 						})
 						continue
 					}

@@ -124,7 +124,7 @@ func (in *Injector) Apply(ev faults.Event) {
 	in.mu.Unlock()
 	in.count("faultnet.injected." + ev.Kind.String())
 	for _, c := range toClose {
-		c.Close() //nolint:kv3d // injected kill: the close error of a connection being torn down on purpose carries no signal
+		c.Close() //nolint:kv3d -- injected kill: the close error of a connection being torn down on purpose carries no signal
 	}
 }
 
@@ -206,7 +206,7 @@ type faultConn struct {
 func (c *faultConn) apply(read bool) error {
 	delay, reset := c.inj.decide(c.target, read)
 	if reset {
-		c.Close() //nolint:kv3d // the reset is the point; the peer observes the close, not its error
+		c.Close() //nolint:kv3d -- the reset is the point; the peer observes the close, not its error
 		c.inj.count("faultnet.reset_conns")
 		return ErrReset
 	}
@@ -266,7 +266,7 @@ func (l *faultListener) Accept() (net.Conn, error) {
 			return nil, err
 		}
 		if l.inj.IsDown(l.target) {
-			c.Close() //nolint:kv3d // refusing a connection to a down node; its close error is noise
+			c.Close() //nolint:kv3d -- refusing a connection to a down node; its close error is noise
 			l.inj.count("faultnet.refused_conns")
 			continue
 		}

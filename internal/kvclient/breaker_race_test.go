@@ -1,0 +1,89 @@
+package kvclient_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"kv3d/internal/kvclient"
+	"kv3d/internal/kvserver"
+	"kv3d/internal/kvstore"
+	"kv3d/internal/testutil"
+)
+
+// TestBreakerHealthFieldsConcurrent is the -race regression for the
+// nodeState health contracts syncguard pins: fails, ejected, and
+// retryAt are kv3d:guardedby ClusterClient.mu (the cluster lock, not
+// the per-node connection lock). One live node and one dead address
+// keep the breaker churning — every worker op on the dead node bumps
+// fails and trips ejection, probation expiry re-admits it, and ring
+// reads overlap throughout.
+func TestBreakerHealthFieldsConcurrent(t *testing.T) {
+	testutil.CheckGoroutines(t)
+
+	st, err := kvstore.New(kvstore.DefaultConfig(16 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := kvserver.New(st, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeOn(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	// A listener that never accepts: dials succeed, ops time out —
+	// transport failures that exercise recordFailure/maybeReadmit.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dead.Close() })
+
+	cc, err := kvclient.NewCluster(kvclient.ClusterConfig{
+		Addrs:          []string{ln.Addr().String(), dead.Addr().String()},
+		Replicas:       1,
+		OpTimeout:      30 * time.Millisecond,
+		MaxRetries:     2,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  4 * time.Millisecond,
+		EjectAfter:     1,
+		Probation:      10 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	const (
+		workers = 6
+		perW    = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("k%d-%d", w, i)
+				// Errors are expected whenever the key lands on the dead
+				// node; the point is the breaker bookkeeping they drive.
+				_ = cc.Set(key, []byte("v"), 0, 0)
+				_, _ = cc.Get(key)
+			}
+		}(w)
+	}
+	reads := make(chan struct{})
+	go func() {
+		defer close(reads)
+		for i := 0; i < 200; i++ {
+			_ = cc.Nodes()
+		}
+	}()
+	wg.Wait()
+	<-reads
+}

@@ -47,8 +47,8 @@ type ClusterClient struct {
 	// retryAt) plus the jitter rng; each nodeState.mu guards only that
 	// node's connection. Never acquire a nodeState.mu while holding mu.
 	mu    sync.Mutex
-	nodes map[string]*nodeState
-	rng   *sim.Rand
+	nodes map[string]*nodeState //kv3d:guardedby mu
+	rng   *sim.Rand             //kv3d:guardedby mu
 	dial  func(addr string) (*Client, error)
 }
 
@@ -60,9 +60,9 @@ type nodeState struct {
 	conn *Client
 
 	// Health fields below are guarded by ClusterClient.mu, not mu.
-	fails   int       // consecutive transport failures
-	ejected bool      // removed from the ring by the breaker
-	retryAt time.Time // when probation ends and the node may return
+	fails   int       //kv3d:guardedby ClusterClient.mu
+	ejected bool      //kv3d:guardedby ClusterClient.mu
+	retryAt time.Time //kv3d:guardedby ClusterClient.mu
 }
 
 // ClusterConfig configures a ClusterClient.
@@ -229,7 +229,7 @@ func (c *ClusterClient) RemoveNode(addr string) {
 	if ns != nil {
 		ns.mu.Lock()
 		if ns.conn != nil {
-			ns.conn.Close() //nolint:kv3d // teardown of a node being removed; the op path reports live errors
+			ns.conn.Close() //nolint:kv3d -- teardown of a node being removed; the op path reports live errors
 			ns.conn = nil
 		}
 		ns.mu.Unlock()
@@ -268,7 +268,7 @@ func (c *ClusterClient) opOnNode(addr string, fn func(*Client) error) error {
 	}
 	err := fn(ns.conn)
 	if err != nil && isTransport(err) {
-		ns.conn.Close() //nolint:kv3d // the transport error is the signal; the close of a broken conn is cleanup
+		ns.conn.Close() //nolint:kv3d -- the transport error is the signal; the close of a broken conn is cleanup
 		ns.conn = nil
 	}
 	return err
@@ -667,7 +667,7 @@ func (c *ClusterClient) Close() error {
 	for _, ns := range states {
 		ns.mu.Lock()
 		if ns.conn != nil {
-			ns.conn.Close() //nolint:kv3d // shutdown: per-conn close errors on teardown carry no signal
+			ns.conn.Close() //nolint:kv3d -- shutdown: per-conn close errors on teardown carry no signal
 			ns.conn = nil
 		}
 		ns.mu.Unlock()

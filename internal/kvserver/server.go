@@ -45,9 +45,9 @@ type Server struct {
 	log   *log.Logger
 
 	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   bool
-	draining bool
+	conns    map[net.Conn]struct{} //kv3d:guardedby mu
+	closed   bool                  //kv3d:guardedby mu
+	draining bool                  //kv3d:guardedby mu
 
 	wg sync.WaitGroup
 	// rejectWg tracks the short-lived goroutines that write busy
@@ -195,9 +195,9 @@ func (s *Server) rejectConn(conn net.Conn, reason RejectReason) {
 	s.rejectWg.Add(1)
 	go func() {
 		defer s.rejectWg.Done()
-		conn.SetWriteDeadline(time.Now().Add(time.Second)) //nolint:kv3d // best-effort farewell: a failed deadline arm just makes the write fail instead
-		io.WriteString(conn, "SERVER_ERROR busy\r\n")      //nolint:kv3d // best-effort farewell to a refused client; nothing to do if it fails
-		conn.Close()                                       //nolint:kv3d // the refusal is complete; the close error of a turned-away conn carries no signal
+		conn.SetWriteDeadline(time.Now().Add(time.Second)) //nolint:kv3d -- best-effort farewell: a failed deadline arm just makes the write fail instead
+		io.WriteString(conn, "SERVER_ERROR busy\r\n")      //nolint:kv3d -- best-effort farewell to a refused client; nothing to do if it fails
+		conn.Close()                                       //nolint:kv3d -- the refusal is complete; the close error of a turned-away conn carries no signal
 	}()
 }
 

@@ -29,10 +29,10 @@ type UDPServer struct {
 	nowNanos func() sim.Ns
 
 	mu     sync.Mutex
-	closed bool
+	closed bool //kv3d:guardedby mu
 
-	handled uint64
-	dropped uint64
+	handled uint64 //kv3d:guardedby statsMu
+	dropped uint64 //kv3d:guardedby statsMu
 	statsMu sync.Mutex
 }
 
@@ -124,7 +124,7 @@ func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
 	rw := &udpExchange{in: bytes.NewReader(payload)}
 	sess := protocol.NewSession(u.store, rw)
 	sess.SetObserver(u.ops, u.nowNanos)
-	_ = sess.Serve() //nolint:kv3d // errors end the session; whatever response was produced still goes back to the peer
+	_ = sess.Serve() //nolint:kv3d -- errors end the session; whatever response was produced still goes back to the peer
 
 	resp := rw.out.Bytes()
 	total := (len(resp) + udpMaxPayload - 1) / udpMaxPayload

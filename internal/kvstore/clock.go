@@ -8,5 +8,5 @@ import "time"
 // requires sim-driven stores to inject a virtual clock so eviction and
 // expiry decisions replay identically for a given seed.
 func WallClock() int64 {
-	return time.Now().Unix() //nolint:kv3d // the one sanctioned wall-clock read: live-server default; sims inject Config.Clock
+	return time.Now().Unix() //nolint:kv3d -- the one sanctioned wall-clock read: live-server default; sims inject Config.Clock
 }

@@ -40,7 +40,7 @@ func (st *Store) StartCrawler(interval time.Duration) *Crawler {
 
 func (c *Crawler) run() {
 	defer close(c.done)
-	ticker := time.NewTicker(c.interval) //nolint:kv3d // the crawler is a live-server background reaper; sims never start it and call SweepExpired explicitly
+	ticker := time.NewTicker(c.interval) //nolint:kv3d -- the crawler is a live-server background reaper; sims never start it and call SweepExpired explicitly
 	defer ticker.Stop()
 	for {
 		select {

@@ -50,7 +50,7 @@ type shard struct {
 	table    *hashTable
 	alloc    *slabAllocator
 	pol      policy
-	stats    shardStats
+	stats    shardStats //kv3d:guardedby lockedShard.mu
 	casSeq   *casCounter
 	flushAt  int64 // items stored strictly before this unix time are dead
 	maxItem  int

@@ -189,7 +189,7 @@ func (s *BinarySession) serveOne() error {
 		return err
 	}
 	extras := body[:h.extrasLen]
-	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)]) //nolint:kv3d // binary keys cross into the string-keyed store mutation API; one short per-frame allocation is accepted
+	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)]) //nolint:kv3d -- binary keys cross into the string-keyed store mutation API; one short per-frame allocation is accepted
 	value := body[int(h.extrasLen)+int(h.keyLen):]
 
 	// The frame (header and body) has been fully consumed, so a busy
@@ -198,7 +198,7 @@ func (s *BinarySession) serveOne() error {
 	if s.gate != nil && !s.gate.TryAcquire() {
 		switch {
 		case h.opcode == OpQuit:
-			s.respond(h, StatusOK, nil, "", nil, 0) //nolint:kv3d // the session ends either way; ErrQuit carries the outcome
+			s.respond(h, StatusOK, nil, "", nil, 0) //nolint:kv3d -- the session ends either way; ErrQuit carries the outcome
 			return ErrQuit
 		case h.opcode == OpQuitQ:
 			return ErrQuit

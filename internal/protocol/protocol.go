@@ -210,10 +210,10 @@ func (s *Session) dispatch(verb, rest []byte) error {
 	case "quit":
 		return ErrQuit
 	}
-	args := strings.Fields(string(rest)) //nolint:kv3d // store/admin verbs tolerate one parse allocation; get/gets/quit return above and never reach this line
+	args := strings.Fields(string(rest)) //nolint:kv3d -- store/admin verbs tolerate one parse allocation; get/gets/quit return above and never reach this line
 	switch string(verb) {
 	case "set", "add", "replace", "append", "prepend":
-		return s.doStore(string(verb), args, 0) //nolint:kv3d // the store mutation API is string-keyed; store-class verbs are off the measured hot path
+		return s.doStore(string(verb), args, 0) //nolint:kv3d -- the store mutation API is string-keyed; store-class verbs are off the measured hot path
 	case "cas":
 		return s.doCas(args)
 	case "delete":
