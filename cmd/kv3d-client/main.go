@@ -11,11 +11,17 @@
 //	kv3d-client -addr localhost:11211 set mykey hello
 //	kv3d-client -addr localhost:11211 get mykey
 //	kv3d-client -addr localhost:11211 stats
+//
+// With -probes the load generator routes through the resilience layer
+// (retries, backoff, circuit breaker) and dumps its kvclient.* probe
+// registry as JSON on stdout when the run ends; the human-readable
+// summary moves to stderr so the JSON stays machine-parseable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -25,6 +31,7 @@ import (
 
 	"kv3d/internal/kvclient"
 	"kv3d/internal/metrics"
+	"kv3d/internal/obs"
 	"kv3d/internal/workload"
 )
 
@@ -38,11 +45,15 @@ func main() {
 	keys := flag.Int("keys", 10000, "load: key-space size")
 	zipf := flag.Float64("zipf", 1.01, "load: key popularity skew (0 = uniform)")
 	seed := flag.Uint64("seed", 1, "load: RNG seed")
+	probes := flag.Bool("probes", false, "load: use the cluster client and dump kvclient.* probes as JSON on exit")
 	flag.Parse()
 
 	if *load {
-		runLoad(*addr, *conns, *duration, *getFraction, *valueSize, *keys, *zipf, *seed)
+		runLoad(*addr, *conns, *duration, *getFraction, *valueSize, *keys, *zipf, *seed, *probes)
 		return
+	}
+	if *probes {
+		log.Fatal("kv3d-client: -probes requires -load")
 	}
 	runCommand(*addr, flag.Args())
 }
@@ -117,7 +128,15 @@ func runCommand(addr string, args []string) {
 	}
 }
 
-func runLoad(addr string, conns int, duration time.Duration, getFraction float64, valueSize int64, keys int, zipf float64, seed uint64) {
+// loadConn is the surface the load loop needs; both the plain Client
+// and the ClusterClient (selected by -probes) satisfy it.
+type loadConn interface {
+	Get(key string) (kvclient.Item, error)
+	Set(key string, value []byte, flags uint32, exptime int64) error
+	Close() error
+}
+
+func runLoad(addr string, conns int, duration time.Duration, getFraction float64, valueSize int64, keys int, zipf float64, seed uint64, probes bool) {
 	var (
 		ops      atomic.Uint64
 		hits     atomic.Uint64
@@ -126,6 +145,20 @@ func runLoad(addr string, conns int, duration time.Duration, getFraction float64
 		mu       sync.Mutex
 		combined = metrics.NewHistogram()
 	)
+	var reg *obs.Registry
+	if probes {
+		reg = obs.NewRegistry()
+	}
+	dial := func(worker int) (loadConn, error) {
+		if reg == nil {
+			return kvclient.Dial(addr)
+		}
+		return kvclient.NewCluster(kvclient.ClusterConfig{
+			Addrs:  []string{addr},
+			Probes: reg,
+			Seed:   seed + uint64(worker),
+		})
+	}
 	value := make([]byte, valueSize)
 	for i := range value {
 		value[i] = byte('a' + i%26)
@@ -136,7 +169,7 @@ func runLoad(addr string, conns int, duration time.Duration, getFraction float64
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			c, err := kvclient.Dial(addr)
+			c, err := dial(worker)
 			if err != nil {
 				log.Printf("worker %d: %v", worker, err)
 				errsN.Add(1)
@@ -185,16 +218,26 @@ func runLoad(addr string, conns int, duration time.Duration, getFraction float64
 	}
 	wg.Wait()
 
+	// With -probes, stdout carries only the probe JSON.
+	var out io.Writer = os.Stdout
+	if reg != nil {
+		out = os.Stderr
+	}
 	total := ops.Load()
-	fmt.Printf("ops:        %d (%.0f/s)\n", total, float64(total)/duration.Seconds())
-	fmt.Printf("hits:       %d  misses: %d  errors: %d\n", hits.Load(), misses.Load(), errsN.Load())
+	fmt.Fprintf(out, "ops:        %d (%.0f/s)\n", total, float64(total)/duration.Seconds())
+	fmt.Fprintf(out, "hits:       %d  misses: %d  errors: %d\n", hits.Load(), misses.Load(), errsN.Load())
 	if combined.Count() > 0 {
-		fmt.Printf("latency us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+		fmt.Fprintf(out, "latency us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
 			combined.Mean()/1e3,
 			float64(combined.Percentile(50))/1e3,
 			float64(combined.Percentile(95))/1e3,
 			float64(combined.Percentile(99))/1e3,
 			float64(combined.Max())/1e3)
+	}
+	if reg != nil {
+		if err := obs.WriteProbesJSON(os.Stdout, reg.Snapshot()); err != nil {
+			log.Printf("kv3d-client: probes: %v", err)
+		}
 	}
 	if errsN.Load() > 0 {
 		os.Exit(1)

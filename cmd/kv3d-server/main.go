@@ -22,6 +22,7 @@ import (
 
 	"kv3d/internal/kvserver"
 	"kv3d/internal/kvstore"
+	"kv3d/internal/obs"
 )
 
 func parseSize(s string) (int64, error) {
@@ -54,6 +55,10 @@ func main() {
 	crawlEvery := flag.Duration("crawl-interval", 0, "background expiry sweep interval (0 = disabled)")
 	udpAddr := flag.String("udp", "", "also serve the UDP protocol on this address (e.g. :11211)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (e.g. :9190)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ and /debug/trace on the -metrics listener")
+	flightCap := flag.Int("flight", 0, "flight-recorder ring capacity in events (0 = recording off)")
+	flightEvery := flag.Int("flight-every", 64, "sample one op in every N per session (1 = trace every op)")
+	telemetry := flag.Duration("telemetry", 0, "runtime telemetry sampling period exported via /metrics (0 = off)")
 	flag.Parse()
 
 	limit, err := parseSize(*memory)
@@ -84,10 +89,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("kv3d-server: %v", err)
 	}
+	var rec *obs.FlightRecorder
+	if *flightCap > 0 {
+		rec = obs.NewFlightRecorder("kv3d-server", *flightCap)
+	}
 	srv := kvserver.NewWithOptions(store, log.New(os.Stderr, "", log.LstdFlags), kvserver.Options{
 		MaxConns:    *maxConns,
 		IdleTimeout: *idleTimeout,
+		Flight:      rec,
+		FlightEvery: *flightEvery,
 	})
+	if *telemetry > 0 {
+		srv.StartTelemetry(*telemetry)
+		log.Printf("kv3d-server: runtime telemetry every %v", *telemetry)
+	}
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("kv3d-server: %v", err)
 	}
@@ -110,6 +125,10 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		if *pprofOn {
+			mux.Handle("/debug/", srv.DebugMux())
+			log.Printf("kv3d-server: pprof on http://%s/debug/pprof/, trace dump on /debug/trace", mln.Addr())
+		}
 		go func() {
 			if err := http.Serve(mln, mux); err != nil {
 				log.Printf("kv3d-server: metrics server: %v", err)
@@ -117,6 +136,8 @@ func main() {
 		}()
 		defer mln.Close()
 		log.Printf("kv3d-server: metrics on http://%s/metrics", mln.Addr())
+	} else if *pprofOn {
+		log.Fatalf("kv3d-server: -pprof requires -metrics (the debug mux mounts on the metrics listener)")
 	}
 	log.Printf("kv3d-server: listening on %s (%s, %s, %s, %d shards)",
 		srv.Addr(), *memory, *policy, *mode, store.Config().Shards)

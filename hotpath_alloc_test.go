@@ -40,6 +40,113 @@ func TestTracerDisabledZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderDisabledZeroAlloc pins the nil-recorder fast path:
+// instrumented code records unconditionally, so a disabled flight
+// recorder must cost nothing per event.
+func TestFlightRecorderDisabledZeroAlloc(t *testing.T) {
+	var rec *obs.FlightRecorder // nil = recording off
+	track := rec.RegisterTrack("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Complete(track, "op", "ok", 0, 10)
+		rec.Instant(track, "mark", 5)
+		rec.InstantArg(track, "gauge", 5, 42)
+		rec.Counter(track, "depth", 5, 1)
+		rec.AsyncBegin("op", "r", 1, 0)
+		rec.AsyncEnd("op", "r", 1, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled FlightRecorder allocates %v per event batch, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderRecordZeroAlloc pins the enabled record path: the
+// ring slots are preallocated and names are constant strings, so
+// recording into a live ring must also be alloc-free — the recorder is
+// safe on the request hot path even when tracing is on.
+func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
+	rec := obs.NewFlightRecorder("gate", 64)
+	track := rec.RegisterTrack("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Complete(track, "op", "ok", 0, 10)
+		rec.Instant(track, "mark", 5)
+		rec.InstantArg(track, "gauge", 5, 42)
+		rec.Counter(track, "depth", 5, 1)
+		rec.AsyncBegin("op", "r", 1, 0)
+		rec.AsyncEnd("op", "r", 1, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled FlightRecorder allocates %v per event batch, want 0", allocs)
+	}
+}
+
+// flightGateSink mirrors the server's flight sink shape: one enclosing
+// span plus the three phases per op, recorded from ObserveSpan.
+type flightGateSink struct {
+	rec   *obs.FlightRecorder
+	track obs.TrackID
+}
+
+func (s *flightGateSink) ObserveSpan(sp protocol.OpSpan) {
+	s.rec.Complete(s.track, sp.Class.String(), sp.Outcome.String(), sp.Start, sp.End)
+	s.rec.Complete(s.track, "parse", "", sp.Start, sp.ParseDone)
+	s.rec.Complete(s.track, "execute", "", sp.ParseDone, sp.ExecDone)
+	s.rec.Complete(s.track, "write", "", sp.ExecDone, sp.End)
+	if sp.Opaque != 0 {
+		s.rec.AsyncBegin("op", sp.Class.String(), sp.Opaque, sp.Start)
+		s.rec.AsyncEnd("op", sp.Class.String(), sp.Opaque, sp.End)
+	}
+}
+
+// TestASCIIGetWithFlightZeroAllocPerOp re-runs the ASCII GET gate with
+// span observation AND flight recording enabled at full sampling: the
+// traced hot path must stay zero-alloc per op, not just the dark one.
+func TestASCIIGetWithFlightZeroAllocPerOp(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("k", []byte("0123456789abcdef"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewFlightRecorder("gate", 256)
+	sink := &flightGateSink{rec: rec, track: rec.RegisterTrack("ops")}
+	var clock int64
+	nowNanos := func() sim.Ns { clock += 1000; return sim.Ns(clock) }
+	var nullObs nullObserver
+	session := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("get k\r\n")
+		}
+		b.WriteString("quit\r\n")
+		return b.String()
+	}
+	serve := func(req string) {
+		r := bufio.NewReaderSize(strings.NewReader(req), 4096)
+		w := bufio.NewWriterSize(io.Discard, 4096)
+		sess := protocol.NewSessionBuffered(st, r, w)
+		sess.SetObserver(nullObs, nowNanos)
+		sess.SetFlight(sink, 1)
+		if err := sess.Serve(); err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	}
+	const small, large = 64, 2048
+	reqSmall, reqLarge := session(small), session(large)
+	allocsSmall := testing.AllocsPerRun(10, func() { serve(reqSmall) })
+	allocsLarge := testing.AllocsPerRun(10, func() { serve(reqLarge) })
+	if perOp := (allocsLarge - allocsSmall) / float64(large-small); perOp != 0 {
+		t.Fatalf("flight-traced ASCII GET allocates %v per op (session totals: %v @ %d ops, %v @ %d ops), want 0",
+			perOp, allocsSmall, small, allocsLarge, large)
+	}
+}
+
+// nullObserver drops observations; the gate measures the span pipeline,
+// not histogram bucketing (OpMetrics is separately alloc-free).
+type nullObserver struct{}
+
+func (nullObserver) ObserveOp(protocol.OpClass, protocol.Outcome, sim.Ns) {}
+
 func TestKVStoreGetIntoBytesZeroAlloc(t *testing.T) {
 	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
 	if err != nil {

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"kv3d/internal/kvclient"
+	"kv3d/internal/kvserver"
+	"kv3d/internal/kvstore"
+	"kv3d/internal/metrics"
+	"kv3d/internal/obs"
+	"kv3d/internal/sim"
+)
+
+// LiveConfig parameterizes one live benchmark run. The zero value gets
+// sensible defaults from withDefaults.
+type LiveConfig struct {
+	// Name labels the snapshot (default "live").
+	Name string
+	// Ops is the total operation count across all workers (default 20000).
+	Ops int
+	// ValueSize is the stored value length in bytes (default 100).
+	ValueSize int
+	// KeySpace is how many distinct keys the workload touches (default 1024).
+	KeySpace int
+	// Workers is the number of concurrent connections (default 4).
+	Workers int
+	// GetRatio is the fraction of gets, the rest are sets (default 0.9).
+	GetRatio float64
+	// Binary selects the binary protocol for the workers (default ASCII).
+	Binary bool
+	// Seed drives the per-worker op mix (default 1) — the same seed
+	// replays the same request sequence.
+	Seed uint64
+	// StoreBytes caps the server's store (default 64 MiB).
+	StoreBytes int64
+	// Flight, when set, attaches a flight recorder to the benched server
+	// (sampled per FlightEvery) so a bench run can double as a trace
+	// capture.
+	Flight      *obs.FlightRecorder
+	FlightEvery int
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.Name == "" {
+		c.Name = "live"
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.GetRatio <= 0 || c.GetRatio > 1 {
+		c.GetRatio = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StoreBytes <= 0 {
+		c.StoreBytes = 64 << 20
+	}
+	return c
+}
+
+// benchConn is the protocol surface a worker drives — both client types
+// satisfy it.
+type benchConn interface {
+	Get(key string) (kvclient.Item, error)
+	Set(key string, value []byte, flags uint32, exptime int64) error
+	Close() error
+}
+
+// RunLive starts an in-process kvserver on a loopback listener, drives
+// it with Workers concurrent protocol clients, and returns the measured
+// snapshot. Memory statistics are read OUTSIDE the timed region — a
+// ReadMemStats inside it would stop the world mid-measurement and
+// charge its own cost to the benchmark.
+func RunLive(cfg LiveConfig) (Snapshot, error) {
+	cfg = cfg.withDefaults()
+	st, err := kvstore.New(kvstore.DefaultConfig(cfg.StoreBytes))
+	if err != nil {
+		return Snapshot{}, err
+	}
+	srv := kvserver.NewWithOptions(st, nil, kvserver.Options{
+		Flight:      cfg.Flight,
+		FlightEvery: cfg.FlightEvery,
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return Snapshot{}, err
+	}
+	go srv.Serve() //nolint:kv3d -- Serve's error surfaces as op failures on the workers; the bench reports those
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	dial := func() (benchConn, error) {
+		if cfg.Binary {
+			return kvclient.DialBinary(addr)
+		}
+		return kvclient.Dial(addr)
+	}
+
+	// Preload the key space so gets mostly hit, and open every worker
+	// connection before the clock starts: dials and warmup are setup,
+	// not workload.
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	preload, err := dial()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	for i := 0; i < cfg.KeySpace; i++ {
+		if err := preload.Set(benchKey(i), value, 0, 0); err != nil {
+			preload.Close()
+			return Snapshot{}, fmt.Errorf("bench: preload: %w", err)
+		}
+	}
+	if err := preload.Close(); err != nil {
+		return Snapshot{}, err
+	}
+	conns := make([]benchConn, cfg.Workers)
+	for w := range conns {
+		if conns[w], err = dial(); err != nil {
+			return Snapshot{}, err
+		}
+	}
+
+	type workerResult struct {
+		hist                 *metrics.Histogram
+		hits, misses, errors int64
+	}
+	results := make([]workerResult, cfg.Workers)
+	perWorker := cfg.Ops / cfg.Workers
+	extra := cfg.Ops % cfg.Workers
+
+	var before, after runtime.MemStats
+	runtime.GC() // settle the heap so alloc deltas reflect the run, not setup garbage
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		ops := perWorker
+		if w < extra {
+			ops++
+		}
+		wg.Add(1)
+		go func(w, ops int) {
+			defer wg.Done()
+			rng := sim.NewRand(cfg.Seed + uint64(w)*0x9e3779b9)
+			res := &results[w]
+			res.hist = metrics.NewHistogram()
+			conn := conns[w]
+			for i := 0; i < ops; i++ {
+				key := benchKey(int(rng.Uint64() % uint64(cfg.KeySpace)))
+				opStart := time.Now()
+				if rng.Float64() < cfg.GetRatio {
+					_, err := conn.Get(key)
+					switch {
+					case err == nil:
+						res.hits++
+					case errors.Is(err, kvclient.ErrNotFound):
+						res.misses++
+					default:
+						res.errors++
+					}
+				} else {
+					if err := conn.Set(key, value, 0, 0); err != nil {
+						res.errors++
+					}
+				}
+				res.hist.Record(time.Since(opStart).Nanoseconds())
+			}
+		}(w, ops)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	for _, conn := range conns {
+		conn.Close() //nolint:kv3d -- teardown after the timed region; op errors were already counted
+	}
+
+	agg := metrics.NewHistogram()
+	var res Result
+	for w := range results {
+		agg.Merge(results[w].hist)
+		res.Hits += results[w].hits
+		res.Misses += results[w].misses
+		res.Errors += results[w].errors
+	}
+	res.Ops = int64(cfg.Ops)
+	res.DurationNs = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		res.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	res.LatencyNs = agg.Summarize()
+	if cfg.Ops > 0 {
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(cfg.Ops)
+		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Ops)
+	}
+
+	return Snapshot{
+		Schema:      SchemaV1,
+		Name:        cfg.Name,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Config: Config{
+			Ops:       cfg.Ops,
+			ValueSize: cfg.ValueSize,
+			KeySpace:  cfg.KeySpace,
+			Workers:   cfg.Workers,
+			GetRatio:  cfg.GetRatio,
+			Binary:    cfg.Binary,
+			Seed:      cfg.Seed,
+		},
+		Result: res,
+	}, nil
+}
+
+func benchKey(i int) string {
+	return fmt.Sprintf("bench:key:%06d", i)
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kv3d/internal/obs"
+	"kv3d/internal/testutil"
+)
+
+func TestRunLiveASCIIAndBinary(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	for _, binary := range []bool{false, true} {
+		name := "ascii"
+		if binary {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			snap, err := RunLive(LiveConfig{
+				Name:    "smoke-" + name,
+				Ops:     2000,
+				Workers: 2,
+				Binary:  binary,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Schema != SchemaV1 {
+				t.Errorf("schema = %q", snap.Schema)
+			}
+			r := snap.Result
+			if r.Ops != 2000 || r.LatencyNs.Count != 2000 {
+				t.Errorf("ops = %d, latency count = %d, want 2000", r.Ops, r.LatencyNs.Count)
+			}
+			if r.Errors != 0 {
+				t.Errorf("errors = %d, want 0", r.Errors)
+			}
+			if r.Hits == 0 {
+				t.Errorf("no hits against a preloaded key space")
+			}
+			if r.OpsPerSec <= 0 || r.DurationNs <= 0 {
+				t.Errorf("throughput not measured: %+v", r)
+			}
+			if r.LatencyNs.P50 <= 0 || r.LatencyNs.Max < r.LatencyNs.P999 {
+				t.Errorf("latency summary implausible: %+v", r.LatencyNs)
+			}
+			if r.AllocsPerOp <= 0 {
+				t.Errorf("allocs_per_op = %v, want > 0 (client+server in-process)", r.AllocsPerOp)
+			}
+			if snap.GoVersion == "" || snap.NumCPU == 0 {
+				t.Errorf("missing env fingerprint: %+v", snap)
+			}
+		})
+	}
+}
+
+// TestRunLiveFlightCapture proves a bench run can double as a trace
+// capture: the attached recorder ends up with a valid trace document.
+func TestRunLiveFlightCapture(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	rec := obs.NewFlightRecorder("bench-server", 1024)
+	if _, err := RunLive(LiveConfig{
+		Name: "flight", Ops: 500, Workers: 1, Binary: true, FlightEvery: 1,
+		Flight: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("flight recorder captured nothing")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON: %.200s", buf.Bytes())
+	}
+}

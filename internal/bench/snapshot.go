@@ -1,0 +1,143 @@
+// Package bench measures the live server end to end — an in-process
+// kvserver driven over loopback by concurrent protocol clients — and
+// records the result as a versioned BENCH_<name>.json snapshot. The
+// snapshot files form the repo's performance trajectory: each one pins
+// throughput, latency percentiles, and allocation rates together with
+// the environment fingerprint that produced them, and Compare turns two
+// snapshots into a pass/fail regression verdict with tolerance bands.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"kv3d/internal/metrics"
+)
+
+// SchemaV1 identifies the snapshot file format. Readers reject files
+// with an unknown schema instead of misinterpreting them.
+const SchemaV1 = "kv3d-bench-snapshot/v1"
+
+// Snapshot is one benchmark run: what was measured, under which
+// configuration, on which machine.
+type Snapshot struct {
+	Schema      string `json:"schema"`
+	Name        string `json:"name"`
+	CreatedUnix int64  `json:"created_unix"`
+
+	// Environment fingerprint: enough to judge whether two snapshots
+	// are comparable at all.
+	GoVersion string `json:"go_version"`
+	GoOS      string `json:"go_os"`
+	GoArch    string `json:"go_arch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Config Config `json:"config"`
+	Result Result `json:"result"`
+}
+
+// Config echoes the workload parameters so a snapshot is reproducible
+// from its own file.
+type Config struct {
+	Ops       int     `json:"ops"`
+	ValueSize int     `json:"value_size"`
+	KeySpace  int     `json:"key_space"`
+	Workers   int     `json:"workers"`
+	GetRatio  float64 `json:"get_ratio"`
+	Binary    bool    `json:"binary"`
+	Seed      uint64  `json:"seed"`
+}
+
+// Result is what the run measured.
+type Result struct {
+	Ops        int64   `json:"ops"`
+	DurationNs int64   `json:"duration_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Errors     int64   `json:"errors"`
+	// LatencyNs summarizes per-op client-observed latency (includes the
+	// loopback round trip).
+	LatencyNs metrics.Summary `json:"latency_ns"`
+	// AllocsPerOp / BytesPerOp cover the whole process — server and
+	// clients together, since the bench runs in-process — so they track
+	// the end-to-end allocation cost of one operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Write stores the snapshot as indented JSON (newline-terminated, so
+// the files diff cleanly under git).
+func (s Snapshot) Write(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if s.Schema != SchemaV1 {
+		return Snapshot{}, fmt.Errorf("bench: %s: unknown schema %q (want %q)", path, s.Schema, SchemaV1)
+	}
+	return s, nil
+}
+
+// Regression is one metric that moved past its tolerance band.
+type Regression struct {
+	Metric string  // e.g. "latency_ns.p99"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Limit  float64 // the worst acceptable value under the tolerance
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s regressed: %.0f -> %.0f (limit %.0f)", r.Metric, r.Old, r.New, r.Limit)
+}
+
+// Compare checks cur against base under a relative tolerance (0.5 means
+// "50% worse is still acceptable" — benchmarks on shared CI machines
+// need generous bands). Latency percentiles and allocation rates may
+// grow up to (1+tolerance)x; throughput may shrink down to
+// 1/(1+tolerance)x. Metrics the baseline never measured (zero values)
+// are skipped. It returns every violated band, empty when cur passes.
+func Compare(base, cur Snapshot, tolerance float64) []Regression {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	var regs []Regression
+	higher := func(metric string, oldV, newV float64) {
+		if oldV <= 0 {
+			return
+		}
+		limit := oldV * (1 + tolerance)
+		if newV > limit {
+			regs = append(regs, Regression{Metric: metric, Old: oldV, New: newV, Limit: limit})
+		}
+	}
+	if base.Result.OpsPerSec > 0 {
+		floor := base.Result.OpsPerSec / (1 + tolerance)
+		if cur.Result.OpsPerSec < floor {
+			regs = append(regs, Regression{
+				Metric: "ops_per_sec", Old: base.Result.OpsPerSec,
+				New: cur.Result.OpsPerSec, Limit: floor,
+			})
+		}
+	}
+	higher("latency_ns.p50", float64(base.Result.LatencyNs.P50), float64(cur.Result.LatencyNs.P50))
+	higher("latency_ns.p99", float64(base.Result.LatencyNs.P99), float64(cur.Result.LatencyNs.P99))
+	higher("latency_ns.p999", float64(base.Result.LatencyNs.P999), float64(cur.Result.LatencyNs.P999))
+	higher("allocs_per_op", base.Result.AllocsPerOp, cur.Result.AllocsPerOp)
+	higher("bytes_per_op", base.Result.BytesPerOp, cur.Result.BytesPerOp)
+	return regs
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kv3d/internal/metrics"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		Schema:    SchemaV1,
+		Name:      "unit",
+		GoVersion: "go1.22",
+		GoOS:      "linux",
+		GoArch:    "amd64",
+		NumCPU:    8,
+		Config:    Config{Ops: 1000, ValueSize: 100, KeySpace: 64, Workers: 2, GetRatio: 0.9, Seed: 1},
+		Result: Result{
+			Ops:       1000,
+			OpsPerSec: 50000,
+			Hits:      850,
+			Misses:    50,
+			LatencyNs: metrics.Summary{
+				Count: 1000, Mean: 20000, P50: 15000, P95: 40000,
+				P99: 80000, P999: 120000, Max: 500000,
+			},
+			AllocsPerOp: 30,
+			BytesPerOp:  2048,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_unit.json")
+	want := sampleSnapshot()
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	s := sampleSnapshot()
+	s.Schema = "kv3d-bench-snapshot/v999"
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("Load = %v, want unknown-schema error", err)
+	}
+}
+
+// TestCompareDetectsLatencyRegression is the acceptance check: a
+// synthetic 2x latency regression must trip the tolerance band.
+func TestCompareDetectsLatencyRegression(t *testing.T) {
+	base := sampleSnapshot()
+	cur := sampleSnapshot()
+	cur.Result.LatencyNs.P50 *= 2
+	cur.Result.LatencyNs.P99 *= 2
+	cur.Result.LatencyNs.P999 *= 2
+
+	regs := Compare(base, cur, 0.5)
+	if len(regs) != 3 {
+		t.Fatalf("Compare found %d regressions (%v), want 3", len(regs), regs)
+	}
+	found := map[string]bool{}
+	for _, r := range regs {
+		found[r.Metric] = true
+		if r.New <= r.Limit {
+			t.Errorf("%v reported but new <= limit", r)
+		}
+	}
+	for _, m := range []string{"latency_ns.p50", "latency_ns.p99", "latency_ns.p999"} {
+		if !found[m] {
+			t.Errorf("missing regression for %s: %v", m, regs)
+		}
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := sampleSnapshot()
+	cur := sampleSnapshot()
+	// 20% worse across the board stays inside a 50% band.
+	cur.Result.LatencyNs.P99 = base.Result.LatencyNs.P99 * 12 / 10
+	cur.Result.OpsPerSec = base.Result.OpsPerSec * 0.85
+	cur.Result.AllocsPerOp = base.Result.AllocsPerOp * 1.2
+	if regs := Compare(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("Compare = %v, want none", regs)
+	}
+}
+
+func TestCompareDetectsThroughputAndAllocRegressions(t *testing.T) {
+	base := sampleSnapshot()
+	cur := sampleSnapshot()
+	cur.Result.OpsPerSec = base.Result.OpsPerSec / 3
+	cur.Result.AllocsPerOp = base.Result.AllocsPerOp * 3
+	cur.Result.BytesPerOp = base.Result.BytesPerOp * 3
+	regs := Compare(base, cur, 0.5)
+	found := map[string]bool{}
+	for _, r := range regs {
+		found[r.Metric] = true
+	}
+	for _, m := range []string{"ops_per_sec", "allocs_per_op", "bytes_per_op"} {
+		if !found[m] {
+			t.Errorf("missing regression for %s: %v", m, regs)
+		}
+	}
+}
+
+// TestCompareSkipsUnmeasuredBaseline: zero baseline values mean "not
+// measured", not "must stay zero".
+func TestCompareSkipsUnmeasuredBaseline(t *testing.T) {
+	base := sampleSnapshot()
+	base.Result.AllocsPerOp = 0
+	base.Result.LatencyNs.P999 = 0
+	cur := sampleSnapshot()
+	cur.Result.AllocsPerOp = 1e9
+	cur.Result.LatencyNs.P999 = 1e9
+	if regs := Compare(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("Compare = %v, want none (unmeasured baseline)", regs)
+	}
+}

@@ -142,13 +142,18 @@ func measureLiveMultiget(k, small, large int) (locksPerOp, allocsPerOp float64, 
 	measure := func(n int) (locks uint64, mallocs uint64, err error) {
 		req := session(n)
 		var m0, m1 runtime.MemStats
+		// Memory statistics are snapshotted strictly outside the
+		// lock-count window: ReadMemStats stops the world, and a pause
+		// between serve and the closing ReadLockCount would let
+		// background lock traffic leak into the measured delta.
 		runtime.ReadMemStats(&m0)
 		l0 := st.ReadLockCount()
 		if err := serve(req); err != nil {
 			return 0, 0, err
 		}
+		locks = st.ReadLockCount() - l0
 		runtime.ReadMemStats(&m1)
-		return st.ReadLockCount() - l0, m1.Mallocs - m0.Mallocs, nil
+		return locks, m1.Mallocs - m0.Mallocs, nil
 	}
 	// Warm once so both measured sessions see identical steady state.
 	if err := serve(session(4)); err != nil {

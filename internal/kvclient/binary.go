@@ -1,0 +1,321 @@
+package kvclient
+
+// BinaryClient speaks the memcached binary protocol over one TCP
+// connection. Its reason to exist next to the ASCII Client is the
+// request header's opaque field: the server echoes it verbatim in every
+// response, and the flight recorder uses it as the correlation id that
+// joins a client-side op span to the server-side parse/execute/write
+// phases in one merged Perfetto trace. Like Client, a BinaryClient is
+// not safe for concurrent use — open one per goroutine.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"kv3d/internal/protocol"
+)
+
+// maxBinaryRespBody bounds one response frame's body so a desynchronized
+// stream cannot make the client allocate an absurd buffer.
+const maxBinaryRespBody = 16 << 20
+
+// autoOpaqueBase is where self-assigned opaques start. Explicit opaques
+// (SetNextOpaque, used by the flight recorder's correlation ids) live in
+// the low range, so the two never collide within a trace.
+const autoOpaqueBase = 0x8000_0000
+
+// BinaryClient is a single-connection binary-protocol client.
+type BinaryClient struct {
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	opTimeout time.Duration
+
+	// autoOpaque self-assigns request opaques when the caller did not
+	// pick one; pendingOpaque holds an explicit id for the next request.
+	autoOpaque    uint32
+	pendingOpaque uint32
+	pendingSet    bool
+	lastOpaque    uint32
+}
+
+// DialBinary connects to a memcached server's binary protocol.
+func DialBinary(addr string) (*BinaryClient, error) {
+	return DialBinaryOptions(addr, Options{})
+}
+
+// DialBinaryOptions connects with full option control.
+func DialBinaryOptions(addr string, o Options) (*BinaryClient, error) {
+	o = o.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewBinaryClientOptions(conn, o), nil
+}
+
+// NewBinaryClient wraps an existing connection.
+func NewBinaryClient(conn net.Conn) *BinaryClient {
+	return NewBinaryClientOptions(conn, Options{})
+}
+
+// NewBinaryClientOptions wraps an existing connection with options.
+func NewBinaryClientOptions(conn net.Conn, o Options) *BinaryClient {
+	return &BinaryClient{
+		conn:       conn,
+		r:          bufio.NewReaderSize(conn, 64<<10),
+		w:          bufio.NewWriterSize(conn, 64<<10),
+		opTimeout:  o.OpTimeout,
+		autoOpaque: autoOpaqueBase,
+	}
+}
+
+// SetNextOpaque makes the next request carry the given opaque instead of
+// a self-assigned one. The flight recorder uses this to stamp its
+// correlation id onto the wire.
+func (b *BinaryClient) SetNextOpaque(op uint32) {
+	b.pendingOpaque = op
+	b.pendingSet = true
+}
+
+// LastOpaque reports the opaque the most recent request carried.
+func (b *BinaryClient) LastOpaque() uint32 { return b.lastOpaque }
+
+func (b *BinaryClient) takeOpaque() uint32 {
+	if b.pendingSet {
+		b.pendingSet = false
+		b.lastOpaque = b.pendingOpaque
+		return b.pendingOpaque
+	}
+	b.autoOpaque++
+	b.lastOpaque = b.autoOpaque
+	return b.autoOpaque
+}
+
+func (b *BinaryClient) armRead() {
+	if b.opTimeout > 0 {
+		b.conn.SetReadDeadline(time.Now().Add(b.opTimeout)) //nolint:kv3d -- deadline arming cannot usefully fail mid-op; the read reports any connection error
+	}
+}
+
+func (b *BinaryClient) flush() error {
+	if b.opTimeout > 0 {
+		b.conn.SetWriteDeadline(time.Now().Add(b.opTimeout)) //nolint:kv3d -- deadline arming cannot usefully fail mid-op; the flush reports any connection error
+	}
+	return b.w.Flush()
+}
+
+// writeRequest buffers one request frame and returns its opaque.
+func (b *BinaryClient) writeRequest(opcode byte, key string, extras, value []byte, cas uint64) uint32 {
+	opaque := b.takeOpaque()
+	var hdr [24]byte
+	hdr[0] = protocol.MagicRequest
+	hdr[1] = opcode
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(key)))
+	hdr[4] = byte(len(extras))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(extras)+len(key)+len(value)))
+	binary.BigEndian.PutUint32(hdr[12:], opaque)
+	binary.BigEndian.PutUint64(hdr[16:], cas)
+	b.w.Write(hdr[:])
+	b.w.Write(extras)
+	b.w.WriteString(key)
+	b.w.Write(value)
+	return opaque
+}
+
+// binResp is one parsed response frame.
+type binResp struct {
+	opcode byte
+	status uint16
+	opaque uint32
+	cas    uint64
+	extras []byte
+	key    []byte
+	value  []byte
+}
+
+func (b *BinaryClient) readResponse() (binResp, error) {
+	var hdr [24]byte
+	b.armRead()
+	if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
+		return binResp{}, err
+	}
+	if hdr[0] != protocol.MagicResponse {
+		return binResp{}, fmt.Errorf("%w: bad response magic 0x%02x", ErrProtocol, hdr[0])
+	}
+	keyLen := int(binary.BigEndian.Uint16(hdr[2:]))
+	extLen := int(hdr[4])
+	bodyLen := int(binary.BigEndian.Uint32(hdr[8:]))
+	if bodyLen > maxBinaryRespBody || extLen+keyLen > bodyLen {
+		return binResp{}, fmt.Errorf("%w: bad response framing (body %d, extras %d, key %d)",
+			ErrProtocol, bodyLen, extLen, keyLen)
+	}
+	body := make([]byte, bodyLen)
+	b.armRead()
+	if _, err := io.ReadFull(b.r, body); err != nil {
+		return binResp{}, err
+	}
+	return binResp{
+		opcode: hdr[1],
+		status: binary.BigEndian.Uint16(hdr[6:]),
+		opaque: binary.BigEndian.Uint32(hdr[12:]),
+		cas:    binary.BigEndian.Uint64(hdr[16:]),
+		extras: body[:extLen],
+		key:    body[extLen : extLen+keyLen],
+		value:  body[extLen+keyLen:],
+	}, nil
+}
+
+// statusErr maps a non-OK response status onto the package's sentinel
+// errors, so callers switch on the same values for both protocols.
+func statusErr(status uint16, value []byte) error {
+	switch status {
+	case protocol.StatusOK:
+		return nil
+	case protocol.StatusKeyNotFound:
+		return ErrNotFound
+	case protocol.StatusKeyExists:
+		return ErrExists
+	case protocol.StatusNotStored:
+		return ErrNotStored
+	case protocol.StatusBusy:
+		return ErrBusy
+	case protocol.StatusInvalidArgs, protocol.StatusValueTooLarge, protocol.StatusNonNumeric:
+		return fmt.Errorf("%w: status 0x%04x %s", ErrClient, status, value)
+	case protocol.StatusUnknownCommand:
+		return fmt.Errorf("%w: status 0x%04x %s", ErrProtocol, status, value)
+	default:
+		return fmt.Errorf("%w: status 0x%04x %s", ErrServer, status, value)
+	}
+}
+
+// roundTrip sends one buffered request and reads its response, checking
+// the echoed opaque so a desynchronized stream fails loudly.
+func (b *BinaryClient) roundTrip(opaque uint32) (binResp, error) {
+	if err := b.flush(); err != nil {
+		return binResp{}, err
+	}
+	resp, err := b.readResponse()
+	if err != nil {
+		return binResp{}, err
+	}
+	if resp.opaque != opaque {
+		return binResp{}, fmt.Errorf("%w: response opaque 0x%08x for request 0x%08x (stream desynchronized)",
+			ErrProtocol, resp.opaque, opaque)
+	}
+	return resp, nil
+}
+
+// Get fetches one key; ErrNotFound on miss.
+func (b *BinaryClient) Get(key string) (Item, error) {
+	opaque := b.writeRequest(protocol.OpGet, key, nil, nil, 0)
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return Item{}, err
+	}
+	if err := statusErr(resp.status, resp.value); err != nil {
+		return Item{}, err
+	}
+	var flags uint32
+	if len(resp.extras) >= 4 {
+		flags = binary.BigEndian.Uint32(resp.extras)
+	}
+	return Item{Key: key, Value: resp.value, Flags: flags, CAS: resp.cas}, nil
+}
+
+// GetMulti fetches several keys in one pipelined round trip; missing
+// keys are simply absent from the result.
+func (b *BinaryClient) GetMulti(keys []string) (map[string]Item, error) {
+	unique := make([]string, 0, len(keys))
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup || k == "" {
+			continue
+		}
+		seen[k] = struct{}{}
+		unique = append(unique, k)
+	}
+	out := make(map[string]Item, len(unique))
+	if len(unique) == 0 {
+		return out, nil
+	}
+	// Non-quiet gets answer in request order, so the i-th response is
+	// the i-th key; opaques double-check the pairing.
+	opaques := make([]uint32, len(unique))
+	for i, k := range unique {
+		opaques[i] = b.writeRequest(protocol.OpGet, k, nil, nil, 0)
+	}
+	if err := b.flush(); err != nil {
+		return nil, err
+	}
+	for i, k := range unique {
+		resp, err := b.readResponse()
+		if err != nil {
+			return nil, err
+		}
+		if resp.opaque != opaques[i] {
+			return nil, fmt.Errorf("%w: response opaque 0x%08x for request 0x%08x (stream desynchronized)",
+				ErrProtocol, resp.opaque, opaques[i])
+		}
+		serr := statusErr(resp.status, resp.value)
+		if errors.Is(serr, ErrNotFound) {
+			continue
+		}
+		if serr != nil {
+			return nil, serr
+		}
+		var flags uint32
+		if len(resp.extras) >= 4 {
+			flags = binary.BigEndian.Uint32(resp.extras)
+		}
+		out[k] = Item{Key: k, Value: resp.value, Flags: flags, CAS: resp.cas}
+	}
+	return out, nil
+}
+
+// Set stores a value unconditionally.
+func (b *BinaryClient) Set(key string, value []byte, flags uint32, exptime int64) error {
+	var extras [8]byte
+	binary.BigEndian.PutUint32(extras[:], flags)
+	binary.BigEndian.PutUint32(extras[4:], uint32(exptime))
+	opaque := b.writeRequest(protocol.OpSet, key, extras[:], value, 0)
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.status, resp.value)
+}
+
+// Delete removes a key.
+func (b *BinaryClient) Delete(key string) error {
+	opaque := b.writeRequest(protocol.OpDelete, key, nil, nil, 0)
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.status, resp.value)
+}
+
+// Noop round-trips an empty command — a liveness probe that also acts
+// as a pipeline barrier.
+func (b *BinaryClient) Noop() error {
+	opaque := b.writeRequest(protocol.OpNoop, "", nil, nil, 0)
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.status, resp.value)
+}
+
+// Close sends quit and closes the connection (same contract as
+// Client.Close: the farewell is best-effort but its error is reported).
+func (b *BinaryClient) Close() error {
+	b.writeRequest(protocol.OpQuit, "", nil, nil, 0)
+	ferr := b.flush()
+	return errors.Join(ferr, b.conn.Close())
+}

@@ -42,6 +42,9 @@ type ClusterClient struct {
 	sleep  func(time.Duration)
 	jitter func() float64
 	probes *obs.Registry
+	// flight is nil unless ClusterConfig.Flight was set; every method on
+	// it is nil-safe, so call sites stay unconditional.
+	flight *clientFlight
 
 	// mu guards nodes' membership and health fields (fails, ejected,
 	// retryAt) plus the jitter rng; each nodeState.mu guards only that
@@ -49,15 +52,26 @@ type ClusterClient struct {
 	mu    sync.Mutex
 	nodes map[string]*nodeState //kv3d:guardedby mu
 	rng   *sim.Rand             //kv3d:guardedby mu
-	dial  func(addr string) (*Client, error)
+	dial  func(addr string) (NodeConn, error)
+}
+
+// NodeConn is the per-node connection surface ClusterClient drives,
+// satisfied by both the ASCII Client and the BinaryClient (selected by
+// ClusterConfig.Binary).
+type NodeConn interface {
+	Get(key string) (Item, error)
+	GetMulti(keys []string) (map[string]Item, error)
+	Set(key string, value []byte, flags uint32, exptime int64) error
+	Delete(key string) error
+	Close() error
 }
 
 // nodeState is one node's connection and circuit-breaker health.
 type nodeState struct {
 	// mu serializes protocol operations on the node's single connection
-	// (a Client is not safe for concurrent use).
+	// (neither client type is safe for concurrent use).
 	mu   sync.Mutex
-	conn *Client
+	conn NodeConn
 
 	// Health fields below are guarded by ClusterClient.mu, not mu.
 	fails   int       //kv3d:guardedby ClusterClient.mu
@@ -116,6 +130,19 @@ type ClusterConfig struct {
 	// Probes optionally receives kvclient.* counters (retries,
 	// transport_errors, busy, ejections, readmissions, failovers).
 	Probes *obs.Registry
+
+	// Binary selects the memcached binary protocol for node connections.
+	// With flight recording on, each attempt then stamps its correlation
+	// id into the request opaque, which the server echoes — the seam that
+	// lets merged traces join client and server spans.
+	Binary bool
+	// Flight optionally records client-side op spans and resilience
+	// events (retry, backoff, failover, breaker transitions) into the
+	// given ring.
+	Flight *obs.FlightRecorder
+	// FlightNow supplies flight timestamps (default: wall clock). Tests
+	// inject a fake clock for reproducible traces.
+	FlightNow func() sim.Ns
 }
 
 // ErrNoNodes is returned when the ring is empty.
@@ -169,9 +196,13 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		sleep:      cfg.Sleep,
 		jitter:     cfg.Jitter,
 		probes:     cfg.Probes,
+		flight:     newClientFlight(cfg.Flight, cfg.FlightNow),
 		nodes:      make(map[string]*nodeState),
 		rng:        sim.NewRand(cfg.Seed),
-		dial: func(addr string) (*Client, error) {
+		dial: func(addr string) (NodeConn, error) {
+			if cfg.Binary {
+				return DialBinaryOptions(addr, opts)
+			}
 			return DialOptions(addr, opts)
 		},
 	}
@@ -180,6 +211,16 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 	}
 	if c.jitter == nil {
 		c.jitter = c.seededJitter
+	}
+	if c.probes != nil {
+		// Pre-register every counter so a healthy run still exports the
+		// full kvclient.* series at zero (probes dumps stay schema-stable).
+		for _, name := range []string{
+			"kvclient.retries", "kvclient.transport_errors", "kvclient.busy",
+			"kvclient.ejections", "kvclient.readmissions", "kvclient.failovers",
+		} {
+			c.probes.Counter(name)
+		}
 	}
 	for _, a := range cfg.Addrs {
 		c.ring.Add(a)
@@ -255,7 +296,7 @@ func (c *ClusterClient) node(addr string) *nodeState {
 // opOnNode runs one protocol operation against addr under the node's
 // connection lock, dialing lazily and dropping the connection on
 // transport failure so the next operation re-dials.
-func (c *ClusterClient) opOnNode(addr string, fn func(*Client) error) error {
+func (c *ClusterClient) opOnNode(addr string, fn func(NodeConn) error) error {
 	ns := c.node(addr)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
@@ -271,6 +312,32 @@ func (c *ClusterClient) opOnNode(addr string, fn func(*Client) error) error {
 		ns.conn.Close() //nolint:kv3d -- the transport error is the signal; the close of a broken conn is cleanup
 		ns.conn = nil
 	}
+	return err
+}
+
+// observedOp runs one attempt against addr, recording a client-side
+// flight span named by the server's op-class vocabulary. On binary
+// connections the attempt's correlation id is stamped into the request
+// opaque first, so the span correlates with the server-side phases.
+func (c *ClusterClient) observedOp(addr, name string, fn func(NodeConn) error) error {
+	if c.flight == nil {
+		return c.opOnNode(addr, fn)
+	}
+	opaque := c.flight.nextOpaque()
+	correlated := false
+	start := c.flight.now()
+	err := c.opOnNode(addr, func(conn NodeConn) error {
+		if bc, ok := conn.(*BinaryClient); ok {
+			bc.SetNextOpaque(opaque)
+			correlated = true
+		}
+		return fn(conn)
+	})
+	end := c.flight.now()
+	if !correlated {
+		opaque = 0 // ASCII conn or failed dial: client-side span only
+	}
+	c.flight.attempt(name, flightOutcome(err), opaque, start, end)
 	return err
 }
 
@@ -303,6 +370,7 @@ func (c *ClusterClient) recordFailure(addr string) {
 	if eject {
 		c.ring.Remove(addr)
 		c.count("kvclient.ejections")
+		c.flight.instant("breaker.eject")
 	}
 }
 
@@ -326,6 +394,7 @@ func (c *ClusterClient) maybeReadmit() {
 	for _, addr := range back {
 		c.ring.Add(addr)
 		c.count("kvclient.readmissions")
+		c.flight.instant("breaker.readmit")
 	}
 	if c.ring.Len() > 0 {
 		return
@@ -344,6 +413,7 @@ func (c *ClusterClient) maybeReadmit() {
 	for _, addr := range all {
 		c.ring.Add(addr)
 		c.count("kvclient.readmissions")
+		c.flight.instant("breaker.readmit")
 	}
 }
 
@@ -367,7 +437,10 @@ func (c *ClusterClient) withRetry(fn func() error) error {
 			ceiling = c.maxDelay
 		}
 		c.count("kvclient.retries")
-		c.sleep(time.Duration(c.jitter() * float64(ceiling)))
+		c.flight.instant("retry")
+		d := time.Duration(c.jitter() * float64(ceiling))
+		c.flight.backoff(d)
+		c.sleep(d)
 	}
 }
 
@@ -417,7 +490,7 @@ func (c *ClusterClient) getOnce(key string) (Item, error) {
 	lastErr := error(ErrNotFound)
 	for i, addr := range owners {
 		var it Item
-		err := c.opOnNode(addr, func(conn *Client) error {
+		err := c.observedOp(addr, "get", func(conn NodeConn) error {
 			var e error
 			it, e = conn.Get(key)
 			return e
@@ -426,6 +499,7 @@ func (c *ClusterClient) getOnce(key string) (Item, error) {
 			c.recordSuccess(addr)
 			if i > 0 {
 				c.count("kvclient.failovers")
+				c.flight.instant("failover")
 			}
 			return it, nil
 		}
@@ -520,7 +594,7 @@ func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
 				defer func() { <-sem }()
 				var items map[string]Item
 				err := c.withRetry(func() error {
-					e := c.opOnNode(addr, func(conn *Client) error {
+					e := c.observedOp(addr, "get", func(conn NodeConn) error {
 						var ge error
 						items, ge = conn.GetMulti(group)
 						return ge
@@ -544,6 +618,7 @@ func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
 					resMu.Unlock()
 					if rank > 0 {
 						c.countN("kvclient.failovers", len(group))
+						c.flight.instant("failover")
 					}
 					return
 				}
@@ -584,7 +659,7 @@ func (c *ClusterClient) setOnce(key string, value []byte, flags uint32, exptime 
 	stored := 0
 	var firstErr error
 	for _, addr := range owners {
-		err := c.opOnNode(addr, func(conn *Client) error {
+		err := c.observedOp(addr, "store", func(conn NodeConn) error {
 			return conn.Set(key, value, flags, exptime)
 		})
 		if err == nil {
@@ -627,7 +702,7 @@ func (c *ClusterClient) deleteOnce(key string) error {
 	deleted := 0
 	var firstErr error
 	for _, addr := range owners {
-		err := c.opOnNode(addr, func(conn *Client) error {
+		err := c.observedOp(addr, "delete", func(conn NodeConn) error {
 			return conn.Delete(key)
 		})
 		switch {

@@ -41,13 +41,15 @@ func (r RejectReason) String() string {
 }
 
 // OpMetrics aggregates per-operation-class latency histograms across
-// all connections (TCP ASCII, TCP binary, UDP), plus rejection
-// counters. It implements protocol.Observer; sessions call ObserveOp
-// from their connection goroutines, so the histograms sit behind a
-// mutex (the reject counters are atomic and lock-free).
+// all connections (TCP ASCII, TCP binary, UDP), split by outcome
+// (ok / error / busy) so load-shed responses appear in latency
+// accounting instead of vanishing, plus rejection counters. It
+// implements protocol.Observer; sessions call ObserveOp from their
+// connection goroutines, so the histograms sit behind a mutex (the
+// reject counters are atomic and lock-free).
 type OpMetrics struct {
 	mu      sync.Mutex
-	hists   [protocol.NumOpClasses]*metrics.Histogram //kv3d:guardedby mu
+	hists   [protocol.NumOpClasses][protocol.NumOutcomes]*metrics.Histogram //kv3d:guardedby mu
 	rejects [numRejectReasons]atomic.Uint64
 }
 
@@ -67,49 +69,89 @@ func (m *OpMetrics) Rejects(r RejectReason) uint64 {
 	return m.rejects[r].Load() //nolint:kv3d -- rejects is an atomic counter array, deliberately lock-free (hot shed path)
 }
 
-// NewOpMetrics allocates histograms for every operation class.
+// NewOpMetrics allocates histograms for every operation class and
+// outcome.
 func NewOpMetrics() *OpMetrics {
 	m := &OpMetrics{}
-	for i := range m.hists {
-		m.hists[i] = metrics.NewHistogram()
+	for c := range m.hists {
+		for o := range m.hists[c] {
+			m.hists[c][o] = metrics.NewHistogram()
+		}
 	}
 	return m
 }
 
-// ObserveOp records one command's handling time in nanoseconds.
-func (m *OpMetrics) ObserveOp(c protocol.OpClass, nanos sim.Ns) {
+// ObserveOp records one command's handling time in nanoseconds under
+// its outcome.
+func (m *OpMetrics) ObserveOp(c protocol.OpClass, o protocol.Outcome, nanos sim.Ns) {
 	if c < 0 || c >= protocol.NumOpClasses {
 		c = protocol.ClassOther
 	}
+	if o < 0 || o >= protocol.NumOutcomes {
+		o = protocol.OutcomeError
+	}
 	m.mu.Lock()
-	m.hists[c].Record(int64(nanos))
+	m.hists[c][o].Record(int64(nanos))
 	m.mu.Unlock()
 }
 
-// Summary snapshots one class's histogram.
+// Summary snapshots one class's histogram aggregated across outcomes
+// (the pre-outcome-split view; existing dashboards keep working).
 func (m *OpMetrics) Summary(c protocol.OpClass) metrics.Summary {
 	if c < 0 || c >= protocol.NumOpClasses {
 		c = protocol.ClassOther
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.hists[c].Summarize()
+	return m.aggregateLocked(c).Summarize()
+}
+
+// OutcomeSummary snapshots one (class, outcome) histogram.
+func (m *OpMetrics) OutcomeSummary(c protocol.OpClass, o protocol.Outcome) metrics.Summary {
+	if c < 0 || c >= protocol.NumOpClasses {
+		c = protocol.ClassOther
+	}
+	if o < 0 || o >= protocol.NumOutcomes {
+		o = protocol.OutcomeError
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hists[c][o].Summarize()
+}
+
+// aggregateLocked merges one class's outcome histograms. Caller holds mu.
+func (m *OpMetrics) aggregateLocked(c protocol.OpClass) *metrics.Histogram {
+	agg := metrics.NewHistogram()
+	for o := range m.hists[c] {
+		agg.Merge(m.hists[c][o])
+	}
+	return agg
 }
 
 // Probes exports per-class latency summaries under the obs naming
-// scheme (live.op.<class>.latency_ns.*). Classes with no recorded
-// operations are skipped so the endpoint stays compact.
+// scheme: live.op.<class>.latency_ns.* aggregates all outcomes
+// (preserving the pre-split names), and live.op.<class>.<outcome>.latency_ns.*
+// breaks them out. Classes and outcomes with no recorded operations
+// are skipped so the endpoint stays compact.
 func (m *OpMetrics) Probes() []obs.Probe {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var probes []obs.Probe
 	for c := protocol.OpClass(0); c < protocol.NumOpClasses; c++ {
-		s := m.hists[c].Summarize()
+		s := m.aggregateLocked(c).Summarize()
 		if s.Count == 0 {
 			continue
 		}
 		probes = append(probes,
 			obs.SummaryProbes("live.op."+c.String()+".latency_ns", s)...)
+		for o := protocol.Outcome(0); o < protocol.NumOutcomes; o++ {
+			os := m.hists[c][o].Summarize()
+			if os.Count == 0 {
+				continue
+			}
+			probes = append(probes,
+				obs.SummaryProbes("live.op."+c.String()+"."+o.String()+".latency_ns", os)...)
+		}
 	}
 	for r := RejectReason(0); r < numRejectReasons; r++ {
 		if n := m.rejects[r].Load(); n > 0 {
@@ -165,6 +207,7 @@ func (s *Server) Probes() []obs.Probe {
 		)
 	}
 	probes = append(probes, s.ops.Probes()...)
+	probes = append(probes, s.Telemetry().Probes()...)
 	sort.Slice(probes, func(i, j int) bool { return probes[i].Name < probes[j].Name })
 	return probes
 }

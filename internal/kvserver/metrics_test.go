@@ -99,7 +99,7 @@ func TestOpMetricsDeterministicWithFakeClock(t *testing.T) {
 	clock := fakeNanos()
 	for i := 0; i < 5; i++ {
 		start := clock()
-		m.ObserveOp(protocol.ClassGet, clock()-start)
+		m.ObserveOp(protocol.ClassGet, protocol.OutcomeOK, clock()-start)
 	}
 	s := m.Summary(protocol.ClassGet)
 	if s.Count != 5 {
@@ -108,10 +108,22 @@ func TestOpMetricsDeterministicWithFakeClock(t *testing.T) {
 	if s.Mean != 1000 {
 		t.Fatalf("mean = %v, want exactly 1000 from the fake clock", s.Mean)
 	}
-	// Out-of-range classes fold into "other" rather than panicking.
-	m.ObserveOp(protocol.OpClass(99), 5)
+	// Out-of-range classes fold into "other" rather than panicking, and
+	// out-of-range outcomes fold into "error".
+	m.ObserveOp(protocol.OpClass(99), protocol.Outcome(99), 5)
 	if got := m.Summary(protocol.OpClass(-1)).Count; got != 1 {
 		t.Fatalf("other count = %d", got)
+	}
+	if got := m.OutcomeSummary(protocol.ClassOther, protocol.OutcomeError).Count; got != 1 {
+		t.Fatalf("other/error count = %d", got)
+	}
+	// The aggregate keeps counting across outcomes.
+	m.ObserveOp(protocol.ClassGet, protocol.OutcomeBusy, 7)
+	if got := m.Summary(protocol.ClassGet).Count; got != 6 {
+		t.Fatalf("get aggregate count = %d, want 6 (5 ok + 1 busy)", got)
+	}
+	if got := m.OutcomeSummary(protocol.ClassGet, protocol.OutcomeBusy).Count; got != 1 {
+		t.Fatalf("get busy count = %d", got)
 	}
 }
 

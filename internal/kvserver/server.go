@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"kv3d/internal/kvstore"
+	"kv3d/internal/obs"
 	"kv3d/internal/protocol"
 	"kv3d/internal/sim"
 )
@@ -35,6 +36,13 @@ type Options struct {
 	// nanosecond count. Nil selects the wall clock; tests inject a
 	// fake to get deterministic histograms.
 	NowNanos func() sim.Ns
+	// Flight, when set, records sampled per-op phase spans and server
+	// lifecycle events into the ring. Timestamps come from NowNanos, so
+	// a fake clock makes the recording deterministic.
+	Flight *obs.FlightRecorder
+	// FlightEvery samples one op in every FlightEvery per session
+	// (DefaultFlightEvery when <= 0). 1 traces every op.
+	FlightEvery int
 }
 
 // Server accepts memcached protocol connections and serves a Store.
@@ -64,6 +72,12 @@ type Server struct {
 	ops      *OpMetrics
 	gate     *inflightGate
 	nowNanos func() sim.Ns
+	// flight is nil unless Options.Flight was set; its own fields are
+	// immutable after construction and every recorder call is
+	// internally synchronized.
+	flight *serverFlight
+	// telemetry is nil until StartTelemetry; guarded by mu.
+	telemetry *Telemetry //kv3d:guardedby mu
 }
 
 // inflightGate is a non-blocking semaphore capping concurrently
@@ -113,7 +127,19 @@ func NewWithOptions(store *kvstore.Store, logger *log.Logger, opts Options) *Ser
 	if opts.MaxInflight > 0 {
 		s.gate = newInflightGate(opts.MaxInflight, s.ops)
 	}
+	if opts.Flight != nil {
+		s.flight = newServerFlight(opts.Flight, opts.FlightEvery)
+	}
 	return s
+}
+
+// Flight exposes the server's recorder (nil when recording is off) so
+// tools can dump or merge its trace.
+func (s *Server) Flight() *obs.FlightRecorder {
+	if s.flight == nil {
+		return nil
+	}
+	return s.flight.rec
 }
 
 // Listen binds the address (e.g. "127.0.0.1:11211"). Use port :0 for an
@@ -192,6 +218,9 @@ func (s *Server) ServeOn(ln net.Listener) error {
 func (s *Server) rejectConn(conn net.Conn, reason RejectReason) {
 	s.rejected.Add(1)
 	s.ops.Reject(reason)
+	if s.flight != nil {
+		s.flight.reject(reason, s.nowNanos())
+	}
 	s.rejectWg.Add(1)
 	go func() {
 		defer s.rejectWg.Done()
@@ -203,12 +232,22 @@ func (s *Server) rejectConn(conn net.Conn, reason RejectReason) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	if s.flight != nil {
+		ts := s.nowNanos()
+		s.flight.connOpen(ts)
+		s.flight.activeConns(ts, s.active.Load())
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		s.active.Add(-1)
+		n := s.active.Add(-1)
+		if s.flight != nil {
+			ts := s.nowNanos()
+			s.flight.connClose(ts)
+			s.flight.activeConns(ts, n)
+		}
 	}()
 	var rw io.ReadWriter = conn
 	if s.opts.IdleTimeout > 0 {
@@ -229,12 +268,18 @@ func (s *Server) handle(conn net.Conn) {
 		if s.gate != nil {
 			sess.SetGate(s.gate)
 		}
+		if s.flight != nil {
+			sess.SetFlight(&s.flight.binarySink, s.flight.every)
+		}
 		err = sess.Serve()
 	} else {
 		sess := protocol.NewSessionBuffered(s.store, br, bw)
 		sess.SetObserver(s.ops, s.nowNanos)
 		if s.gate != nil {
 			sess.SetGate(s.gate)
+		}
+		if s.flight != nil {
+			sess.SetFlight(&s.flight.asciiSink, s.flight.every)
 		}
 		err = sess.Serve()
 	}
@@ -254,13 +299,19 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	tel := s.telemetry
+	s.telemetry = nil
 	s.mu.Unlock()
+	if s.flight != nil {
+		s.flight.serverClose(s.nowNanos())
+	}
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
 	s.rejectWg.Wait()
+	tel.Stop()
 	return err
 }
 
@@ -276,6 +327,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	if s.flight != nil {
+		s.flight.drainBegin(s.nowNanos())
+	}
 	// wg.Add for handlers happens under mu before draining was set, so
 	// this waiter cannot race a late registration.
 	drained := make(chan struct{})
@@ -288,6 +342,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	case <-drained:
 	case <-time.After(timeout):
 		err = errors.New("kvserver: drain deadline exceeded")
+	}
+	if s.flight != nil {
+		s.flight.drainEnd(s.nowNanos())
 	}
 	if cerr := s.Close(); cerr != nil && err == nil {
 		err = cerr

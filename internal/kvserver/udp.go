@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"kv3d/internal/kvstore"
 	"kv3d/internal/protocol"
@@ -28,6 +29,12 @@ type UDPServer struct {
 	ops      *OpMetrics
 	nowNanos func() sim.Ns
 
+	// flight sampling happens per datagram (sessions are one-shot, so a
+	// per-session counter would trace every first op): one datagram in
+	// every flight.every gets its ops traced on the srv.udp track.
+	flight    *serverFlight
+	flightSeq atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool //kv3d:guardedby mu
 
@@ -46,7 +53,7 @@ func (s *Server) ListenUDP(addr string) (*UDPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &UDPServer{store: s.store, conn: conn, ops: s.ops, nowNanos: s.nowNanos}
+	u := &UDPServer{store: s.store, conn: conn, ops: s.ops, nowNanos: s.nowNanos, flight: s.flight}
 	go u.serve()
 	return u, nil
 }
@@ -124,6 +131,9 @@ func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
 	rw := &udpExchange{in: bytes.NewReader(payload)}
 	sess := protocol.NewSession(u.store, rw)
 	sess.SetObserver(u.ops, u.nowNanos)
+	if u.flight != nil && (u.flightSeq.Add(1)-1)%uint64(u.flight.every) == 0 {
+		sess.SetFlight(&u.flight.udpSink, 1)
+	}
 	_ = sess.Serve() //nolint:kv3d -- errors end the session; whatever response was produced still goes back to the peer
 
 	resp := rw.out.Bytes()

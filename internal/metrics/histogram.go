@@ -195,6 +195,7 @@ type Summary struct {
 	P50   int64
 	P95   int64
 	P99   int64
+	P999  int64
 	Max   int64
 }
 
@@ -206,6 +207,7 @@ func (h *Histogram) Summarize() Summary {
 		P50:   h.Percentile(50),
 		P95:   h.Percentile(95),
 		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
 		Max:   h.Max(),
 	}
 }

@@ -284,8 +284,11 @@ func TestSummaryProbes(t *testing.T) {
 		h.Record(i * 1000)
 	}
 	probes := SummaryProbes("live.op.get.latency_ns", h.Summarize())
-	if len(probes) != 6 {
+	if len(probes) != 7 {
 		t.Fatalf("got %d probes", len(probes))
+	}
+	if probes[5].Name != "live.op.get.latency_ns.p999" {
+		t.Fatalf("p999 probe = %+v", probes[5])
 	}
 	if probes[0].Name != "live.op.get.latency_ns.count" || probes[0].Value != 100 {
 		t.Fatalf("count probe = %+v", probes[0])

@@ -30,9 +30,9 @@ func WritePrometheus(w io.Writer, probes []Probe) error {
 }
 
 // SummaryProbes expands a metrics.Summary into probes under the given
-// dotted prefix (count, mean, p50, p95, p99, max). The same expansion
-// backs the /metrics endpoint and -json outputs, so per-op latency
-// reads identically everywhere.
+// dotted prefix (count, mean, p50, p95, p99, p999, max). The same
+// expansion backs the /metrics endpoint and -json outputs, so per-op
+// latency reads identically everywhere.
 func SummaryProbes(prefix string, s metrics.Summary) []Probe {
 	return []Probe{
 		{Name: prefix + ".count", Value: float64(s.Count)},
@@ -40,6 +40,7 @@ func SummaryProbes(prefix string, s metrics.Summary) []Probe {
 		{Name: prefix + ".p50", Value: float64(s.P50)},
 		{Name: prefix + ".p95", Value: float64(s.P95)},
 		{Name: prefix + ".p99", Value: float64(s.P99)},
+		{Name: prefix + ".p999", Value: float64(s.P999)},
 		{Name: prefix + ".max", Value: float64(s.Max)},
 	}
 }

@@ -114,6 +114,15 @@ type BinarySession struct {
 	obs      Observer
 	nowNanos func() sim.Ns
 
+	// Optional sampled flight tracing, as on Session. Binary spans
+	// carry the request's opaque field as the correlation key.
+	flight      SpanObserver
+	flightEvery uint64
+	flightSeq   uint64
+	spanActive  bool
+	tParse      sim.Ns
+	tExec       sim.Ns
+
 	// Optional admission gate, as on Session.
 	gate Gate
 }
@@ -126,6 +135,67 @@ func (s *BinarySession) SetGate(g Gate) { s.gate = g }
 func (s *BinarySession) SetObserver(o Observer, nowNanos func() sim.Ns) {
 	s.obs = o
 	s.nowNanos = nowNanos
+}
+
+// SetFlight installs a sampled per-op span observer, as on
+// Session.SetFlight. Spans use the observer clock from SetObserver.
+func (s *BinarySession) SetFlight(f SpanObserver, every int) {
+	s.flight = f
+	if every < 1 {
+		every = 1
+	}
+	s.flightEvery = uint64(every)
+}
+
+//kv3d:hotpath
+func (s *BinarySession) beginSpan() {
+	if s.flight == nil {
+		return
+	}
+	n := s.flightSeq
+	s.flightSeq++
+	if n%s.flightEvery != 0 {
+		return
+	}
+	s.spanActive = true
+	s.tParse = 0
+	s.tExec = 0
+}
+
+//kv3d:hotpath
+func (s *BinarySession) markParse() {
+	if s.spanActive && s.tParse == 0 {
+		s.tParse = s.nowNanos()
+	}
+}
+
+// markExec stamps the end of the store-execute phase; first call wins,
+// so multi-frame responders (doStat) measure up to their first write.
+//
+//kv3d:hotpath
+func (s *BinarySession) markExec() {
+	if s.spanActive && s.tExec == 0 {
+		s.tExec = s.nowNanos()
+	}
+}
+
+//kv3d:hotpath
+func (s *BinarySession) endSpan(class OpClass, out Outcome, opaque uint64, start, end sim.Ns) {
+	if !s.spanActive {
+		return
+	}
+	s.spanActive = false
+	p, e := s.tParse, s.tExec
+	if p == 0 {
+		p = start
+	}
+	if e == 0 {
+		e = p
+	}
+	s.flight.ObserveSpan(OpSpan{
+		Start: start, ParseDone: p, ExecDone: e, End: end,
+		Opaque: opaque, Class: class, Outcome: out,
+	})
 }
 
 // NewBinarySession wraps a transport. The caller must already have
@@ -172,6 +242,14 @@ func (s *BinarySession) serveOne() error {
 		return err
 	}
 	h := parseBinHeader(hdr[:])
+	// The op clock starts after the (possibly idle) blocking header
+	// read, so the parse phase covers body read and field split but not
+	// time spent waiting for a request to arrive.
+	timed := s.obs != nil && s.nowNanos != nil
+	var start sim.Ns
+	if timed {
+		start = s.nowNanos()
+	}
 	if h.magic != MagicRequest {
 		return fmt.Errorf("protocol: bad binary magic %#02x", h.magic)
 	}
@@ -191,27 +269,50 @@ func (s *BinarySession) serveOne() error {
 	extras := body[:h.extrasLen]
 	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)]) //nolint:kv3d -- binary keys cross into the string-keyed store mutation API; one short per-frame allocation is accepted
 	value := body[int(h.extrasLen)+int(h.keyLen):]
+	if timed {
+		s.beginSpan()
+		s.markParse()
+	}
 
 	// The frame (header and body) has been fully consumed, so a busy
 	// refusal here cannot desynchronize the stream. Quiet variants are
-	// shed silently; quit still quits.
+	// shed silently; quit still quits. Shed frames are observed with
+	// OutcomeBusy so refusals stay visible in latency accounting.
 	if s.gate != nil && !s.gate.TryAcquire() {
+		var shedErr error
+		quitting := false
 		switch {
 		case h.opcode == OpQuit:
-			s.respond(h, StatusOK, nil, "", nil, 0) //nolint:kv3d -- the session ends either way; ErrQuit carries the outcome
-			return ErrQuit
+			shedErr = s.respond(h, StatusOK, nil, "", nil, 0)
+			quitting = true
 		case h.opcode == OpQuitQ:
-			return ErrQuit
+			quitting = true
 		case quiet(h.opcode):
-			return nil
+			// silent shed
+		default:
+			shedErr = s.respond(h, StatusBusy, nil, "", []byte("busy"), 0)
 		}
-		return s.respond(h, StatusBusy, nil, "", []byte("busy"), 0)
+		if timed {
+			end := s.nowNanos()
+			class := classifyOpcode(h.opcode)
+			s.obs.ObserveOp(class, OutcomeBusy, end-start)
+			s.endSpan(class, OutcomeBusy, uint64(h.opaque), start, end)
+		}
+		if quitting {
+			// The session ends either way; ErrQuit carries the outcome
+			// even if the farewell respond failed.
+			return ErrQuit
+		}
+		return shedErr
 	}
 
-	if s.obs != nil && s.nowNanos != nil {
-		start := s.nowNanos()
+	if timed {
 		err := s.dispatch(h, extras, key, value)
-		s.obs.ObserveOp(classifyOpcode(h.opcode), s.nowNanos()-start)
+		end := s.nowNanos()
+		class := classifyOpcode(h.opcode)
+		out := outcomeOf(err)
+		s.obs.ObserveOp(class, out, end-start)
+		s.endSpan(class, out, uint64(h.opaque), start, end)
 		if s.gate != nil {
 			s.gate.Release()
 		}
@@ -268,8 +369,10 @@ func quiet(op byte) bool {
 	return false
 }
 
-// respond writes one response frame.
+// respond writes one response frame. Its entry marks the end of the
+// store-execute phase for sampled spans (first response wins).
 func (s *BinarySession) respond(h binHeader, status uint16, extras []byte, key string, value []byte, cas uint64) error {
+	s.markExec()
 	var hdr [binHeaderLen]byte
 	hdr[0] = MagicResponse
 	hdr[1] = h.opcode

@@ -1,6 +1,10 @@
 package protocol
 
-import "kv3d/internal/sim"
+import (
+	"errors"
+
+	"kv3d/internal/sim"
+)
 
 // OpClass buckets protocol commands for per-op latency metrics: both
 // wire protocols (ASCII and binary) map onto the same classes, so the
@@ -38,15 +42,75 @@ func (c OpClass) String() string {
 	}
 }
 
+// Outcome classifies how a command ended, so latency accounting can
+// separate healthy ops from failures and — critically — from busy
+// sheds, which previously vanished from the histograms entirely.
+type Outcome int
+
+// Outcomes, in the order they are exported by the metrics endpoint.
+const (
+	OutcomeOK    Outcome = iota // executed (includes protocol-level miss/NOT_FOUND)
+	OutcomeError                // session-fatal error during execution
+	OutcomeBusy                 // shed by the admission gate
+	NumOutcomes
+)
+
+// String returns the outcome's metric-name segment.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeError:
+		return "error"
+	default:
+		return "busy"
+	}
+}
+
+// outcomeOf maps a dispatch result onto an outcome. A clean quit and a
+// client EOF end the session without being command failures.
+func outcomeOf(err error) Outcome {
+	if err == nil || errors.Is(err, ErrQuit) {
+		return OutcomeOK
+	}
+	return OutcomeError
+}
+
 // Observer receives one callback per executed command with the
 // command's handling time (read of the value payload through response
-// serialization) as reported by the injected clock. The duration is a
-// typed nanosecond count (sim.Ns) so it cannot be mixed with the
-// kernel's picosecond values without an explicit conversion.
-// Implementations are called from the connection's goroutine and must
-// be safe for concurrent use across connections.
+// serialization) as reported by the injected clock, and the command's
+// outcome. The duration is a typed nanosecond count (sim.Ns) so it
+// cannot be mixed with the kernel's picosecond values without an
+// explicit conversion. Implementations are called from the
+// connection's goroutine and must be safe for concurrent use across
+// connections.
 type Observer interface {
-	ObserveOp(c OpClass, nanos sim.Ns)
+	ObserveOp(c OpClass, o Outcome, nanos sim.Ns)
+}
+
+// OpSpan is one sampled operation's phase timeline: parse (command
+// line / frame decode and payload read), store-execute (the kvstore
+// call), and write (response serialization and flush). All timestamps
+// come from the session's injected clock. Opaque carries the binary
+// protocol's opaque field (0 on ASCII/UDP, where no request id crosses
+// the wire) — the correlation key that lets a merged trace line a
+// client attempt up with the server's handling of that exact request.
+type OpSpan struct {
+	Start     sim.Ns
+	ParseDone sim.Ns
+	ExecDone  sim.Ns
+	End       sim.Ns
+	Opaque    uint64
+	Class     OpClass
+	Outcome   Outcome
+}
+
+// SpanObserver receives sampled per-op phase spans. Implementations
+// are called from the connection's goroutine and must be safe for
+// concurrent use across connections (kvserver's forwards into an
+// obs.FlightRecorder ring).
+type SpanObserver interface {
+	ObserveSpan(sp OpSpan)
 }
 
 // classifyVerbBytes maps a raw ASCII verb token onto its class. The

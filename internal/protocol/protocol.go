@@ -77,6 +77,16 @@ type Session struct {
 	obs      Observer
 	nowNanos func() sim.Ns
 
+	// Optional sampled flight tracing (requires an observer clock):
+	// every flightEvery-th op gets a phase-split OpSpan. spanActive and
+	// the t* stamps are per-command scratch, valid only inside serveOne.
+	flight      SpanObserver
+	flightEvery uint64
+	flightSeq   uint64
+	spanActive  bool
+	tParse      sim.Ns
+	tExec       sim.Ns
+
 	// Optional admission gate; nil means unlimited.
 	gate Gate
 }
@@ -90,6 +100,78 @@ func (s *Session) SetGate(g Gate) { s.gate = g }
 func (s *Session) SetObserver(o Observer, nowNanos func() sim.Ns) {
 	s.obs = o
 	s.nowNanos = nowNanos
+}
+
+// SetFlight installs a sampled per-op span observer: one op in every
+// `every` (minimum 1) is timed through its parse / store-execute /
+// write phases and reported as an OpSpan. Spans use the observer clock
+// from SetObserver, so flight tracing is active only when an observer
+// is installed too; call both before Serve.
+func (s *Session) SetFlight(f SpanObserver, every int) {
+	s.flight = f
+	if every < 1 {
+		every = 1
+	}
+	s.flightEvery = uint64(every)
+}
+
+// beginSpan decides whether this command is sampled and resets the
+// phase stamps. Caller guarantees the observer clock is installed.
+//
+//kv3d:hotpath
+func (s *Session) beginSpan() {
+	if s.flight == nil {
+		return
+	}
+	n := s.flightSeq
+	s.flightSeq++
+	if n%s.flightEvery != 0 {
+		return
+	}
+	s.spanActive = true
+	s.tParse = 0
+	s.tExec = 0
+}
+
+// markParse stamps the end of the parse phase (first call wins).
+//
+//kv3d:hotpath
+func (s *Session) markParse() {
+	if s.spanActive && s.tParse == 0 {
+		s.tParse = s.nowNanos()
+	}
+}
+
+// markExec stamps the end of the store-execute phase (first call wins).
+//
+//kv3d:hotpath
+func (s *Session) markExec() {
+	if s.spanActive && s.tExec == 0 {
+		s.tExec = s.nowNanos()
+	}
+}
+
+// endSpan emits the sampled span. Unstamped phases collapse to
+// zero-length: parse defaults to the op start, execute to parse-done
+// (cold verbs mark nothing and report all time as write).
+//
+//kv3d:hotpath
+func (s *Session) endSpan(class OpClass, out Outcome, start, end sim.Ns) {
+	if !s.spanActive {
+		return
+	}
+	s.spanActive = false
+	p, e := s.tParse, s.tExec
+	if p == 0 {
+		p = start
+	}
+	if e == 0 {
+		e = p
+	}
+	s.flight.ObserveSpan(OpSpan{
+		Start: start, ParseDone: p, ExecDone: e, End: end,
+		Class: class, Outcome: out,
+	})
 }
 
 // NewSession wraps a transport with buffered I/O.
@@ -141,17 +223,32 @@ func (s *Session) serveOne() error {
 	if len(verb) == 0 {
 		return s.reply(respError)
 	}
-	if s.gate != nil && !s.gate.TryAcquire() {
-		return s.shedBusy(verb, rest)
-	}
 	if s.obs != nil && s.nowNanos != nil {
+		class := classifyVerbBytes(verb)
 		start := s.nowNanos()
+		if s.gate != nil && !s.gate.TryAcquire() {
+			// Shed ops are observed too — a busy refusal is part of the
+			// latency story, not a gap in it.
+			s.beginSpan()
+			err := s.shedBusy(verb, rest)
+			end := s.nowNanos()
+			s.obs.ObserveOp(class, OutcomeBusy, end-start)
+			s.endSpan(class, OutcomeBusy, start, end)
+			return err
+		}
+		s.beginSpan()
 		err := s.dispatch(verb, rest)
-		s.obs.ObserveOp(classifyVerbBytes(verb), s.nowNanos()-start)
+		end := s.nowNanos()
+		out := outcomeOf(err)
+		s.obs.ObserveOp(class, out, end-start)
+		s.endSpan(class, out, start, end)
 		if s.gate != nil {
 			s.gate.Release()
 		}
 		return err
+	}
+	if s.gate != nil && !s.gate.TryAcquire() {
+		return s.shedBusy(verb, rest)
 	}
 	err = s.dispatch(verb, rest)
 	if s.gate != nil {
@@ -322,7 +419,9 @@ func (s *Session) doGet(rest []byte, withCAS bool) error {
 	second, rest := nextToken(rest)
 	if len(second) == 0 {
 		// Single-key fast path, identical to the seed behaviour.
+		s.markParse()
 		out, e, ok := s.store.GetIntoBytes(s.valBuf[:0], key)
+		s.markExec()
 		s.valBuf = out[:0]
 		if ok {
 			s.writeValue(key, out, e.Flags, e.CAS, withCAS)
@@ -343,7 +442,9 @@ func (s *Session) doGet(rest []byte, withCAS bool) error {
 		}
 		s.keyBuf = append(s.keyBuf, key)
 	}
+	s.markParse()
 	s.valBuf, s.batchBuf = s.store.GetBatchInto(s.valBuf[:0], s.keyBuf, s.batchBuf[:0], &s.batchScr)
+	s.markExec()
 	for i, r := range s.batchBuf {
 		if r.Found {
 			s.writeValue(s.keyBuf[i], s.valBuf[r.Start:r.End], r.Flags, r.CAS, withCAS)
@@ -436,6 +537,7 @@ func (s *Session) doStore(verb string, args []string, _ int) error {
 		}
 		return s.clientError("bad data chunk")
 	}
+	s.markParse()
 	var serr error
 	switch verb {
 	case "set":
@@ -449,6 +551,7 @@ func (s *Session) doStore(verb string, args []string, _ int) error {
 	case "prepend":
 		serr = s.store.Prepend(key, data)
 	}
+	s.markExec()
 	if noreply {
 		return nil
 	}
@@ -467,7 +570,9 @@ func (s *Session) doCas(args []string) error {
 		}
 		return s.clientError("bad data chunk")
 	}
+	s.markParse()
 	serr := s.store.CAS(key, data, flags, exptime, cas)
+	s.markExec()
 	if noreply {
 		return nil
 	}
@@ -508,7 +613,9 @@ func (s *Session) doDelete(args []string) error {
 	if len(args) != 1 {
 		return s.clientError("bad command line format")
 	}
+	s.markParse()
 	err := s.store.Delete(args[0])
+	s.markExec()
 	if noreply {
 		return nil
 	}
