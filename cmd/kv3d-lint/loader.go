@@ -72,6 +72,10 @@ type analysis struct {
 	typed bool
 	info  *types.Info
 
+	// declOf lazily indexes every loaded function declaration by its
+	// resolved object (see funcDecls).
+	declOf map[*types.Func]*ast.FuncDecl
+
 	// simRoots are the packages whose (transitive) imports must be
 	// deterministic; allow exempts live-server packages that sit outside
 	// the simulation even when the graph reaches them.
@@ -526,6 +530,46 @@ func isSyncMutex(t types.Type) bool {
 	obj := n.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
 		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isSyncPool reports whether a type is sync.Pool (directly, behind a
+// pointer, or behind an alias).
+func isSyncPool(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// funcDecls builds (once, lazily) the module-wide index from resolved
+// *types.Func objects to their declarations, covering dependency-only
+// packages too: the bufown check resolves //kv3d:aliases contracts on
+// callees in other packages, and lifecycle resolves the body a
+// `go pkgFn()` statement actually spawns.
+func (a *analysis) funcDecls() map[*types.Func]*ast.FuncDecl {
+	if a.declOf != nil {
+		return a.declOf
+	}
+	a.declOf = map[*types.Func]*ast.FuncDecl{}
+	if !a.typed {
+		return a.declOf
+	}
+	for _, pkg := range a.pkgs {
+		for _, pf := range pkg.files {
+			for _, decl := range pf.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := a.info.Defs[fd.Name].(*types.Func); ok {
+					a.declOf[fn] = fd
+				}
+			}
+		}
+	}
+	return a.declOf
 }
 
 // isModulePkg reports whether an import path belongs to the module

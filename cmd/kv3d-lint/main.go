@@ -33,12 +33,23 @@
 //	              mixed atomic/plain field access (syncguard/atomic), and
 //	              mutation after publication to another goroutine
 //	              (syncguard/publish)
+//	bufown        alias/escape analysis for borrowed buffers (typed mode
+//	              only): //kv3d:borrowed params and inferred hot-path
+//	              slice params must not be retained past the call
+//	              (bufown/retain, bufown/return, bufown/annotation)
+//	poolsafe      sync.Pool discipline (typed mode only): use-after-Put,
+//	              double-Put, Put of an escaped value
+//	lifecycle     every go statement tied to a stop signal
+//	              (lifecycle/untied) and no unbounded spawn loops
+//	              (lifecycle/spawnloop) (typed mode only)
 //
-// Findings print as "file:line:col: [check] message" and make the tool
-// exit 1; `-json` switches to one JSON object per finding (file, line,
-// col, check, message) for machine consumers. A finding is suppressed
-// by an end-of-line directive `//nolint:kv3d -- <reason>`; the reason
-// is mandatory.
+// Findings print as "file:line:col: [check] message"; `-json` switches
+// to one JSON object per finding (file, line, col, check, message) for
+// machine consumers. A finding is suppressed by an end-of-line
+// directive `//nolint:kv3d -- <reason>`; the reason is mandatory.
+//
+// Exit codes: 0 clean, 1 findings, 2 internal error (bad flags, loader
+// failure) — so CI can tell "dirty tree" from "linter broke".
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,22 +72,37 @@ var typedOnlyChecks = map[string]bool{
 	"hotalloc":  true,
 	"errdrop":   true,
 	"syncguard": true,
+	"bufown":    true,
+	"poolsafe":  true,
+	"lifecycle": true,
 }
 
 func main() {
-	checksFlag := flag.String("checks",
-		"determinism,lockcheck,units,purity,lockorder,hotalloc,errdrop,syncguard",
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole linter behind a testable seam: root is the
+// directory patterns resolve against, argv the command line without
+// the program name. Returns the process exit code: 0 clean, 1
+// findings, 2 internal error.
+func run(root string, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kv3d-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks",
+		"determinism,lockcheck,units,purity,lockorder,hotalloc,errdrop,syncguard,bufown,poolsafe,lifecycle",
 		"comma-separated subset of checks to run")
-	modeFlag := flag.String("mode", "typed",
+	modeFlag := fs.String("mode", "typed",
 		"resolution mode: typed (go/types, default) or ast (v1 parse-only fallback)")
-	jsonFlag := flag.Bool("json", false,
+	jsonFlag := fs.Bool("json", false,
 		"emit findings as JSON, one object per line: {file, line, col, check, message}")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kv3d-lint [-checks list] [-mode typed|ast] [-json] [packages]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: kv3d-lint [-checks list] [-mode typed|ast] [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -85,14 +112,14 @@ func main() {
 	case "ast":
 		mode = modeAST
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
-	a, err := load(".", patterns, mode)
+	a, err := load(root, patterns, mode)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kv3d-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kv3d-lint: %v\n", err)
+		return 2
 	}
 
 	enabled := map[string]bool{}
@@ -106,7 +133,7 @@ func main() {
 		enabled[c] = true
 	}
 	if len(skipped) > 0 {
-		fmt.Fprintf(os.Stderr, "kv3d-lint: skipping typed-only checks in -mode=ast: %s\n",
+		fmt.Fprintf(stderr, "kv3d-lint: skipping typed-only checks in -mode=ast: %s\n",
 			strings.Join(skipped, ", "))
 	}
 
@@ -135,6 +162,15 @@ func main() {
 	if enabled["syncguard"] {
 		findings = append(findings, checkSyncGuard(a)...)
 	}
+	if enabled["bufown"] {
+		findings = append(findings, checkBufOwn(a)...)
+	}
+	if enabled["poolsafe"] {
+		findings = append(findings, checkPoolSafe(a)...)
+	}
+	if enabled["lifecycle"] {
+		findings = append(findings, checkLifecycle(a)...)
+	}
 	findings = applyNolint(a, findings)
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -153,16 +189,16 @@ func main() {
 				File: relPos2(f.pos).Filename, Line: f.pos.Line, Col: f.pos.Column,
 				Check: f.check, Message: f.msg,
 			})
-			fmt.Println(string(out))
+			fmt.Fprintln(stdout, string(out))
 		} else {
-			fmt.Printf("%s: [%s] %s\n", relPos(f.pos), f.check, f.msg)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(f.pos), f.check, f.msg)
 		}
 	}
 	if len(findings) > 0 {
 		if !*jsonFlag {
-			fmt.Printf("kv3d-lint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stdout, "kv3d-lint: %d finding(s)\n", len(findings))
 		}
-		os.Exit(1)
+		return 1
 	}
 	if !*jsonFlag {
 		linted := 0
@@ -171,8 +207,9 @@ func main() {
 				linted++
 			}
 		}
-		fmt.Printf("kv3d-lint: %d package(s) clean\n", linted)
+		fmt.Fprintf(stdout, "kv3d-lint: %d package(s) clean\n", linted)
 	}
+	return 0
 }
 
 // jsonFinding is the -json wire format, one object per line.

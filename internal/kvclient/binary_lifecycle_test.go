@@ -1,0 +1,59 @@
+package kvclient
+
+import (
+	"testing"
+
+	"kv3d/internal/testutil"
+)
+
+// BinaryClient lifecycle coverage: the client owns no goroutines of its
+// own, so the leak check here pins the *server-side* cost of a binary
+// session — every Dial/Close cycle must return the per-connection
+// handler goroutine, and a closed client must fail ops instead of
+// wedging on a dead socket.
+
+// TestBinaryClientLifecycleNoLeak churns dial/use/close cycles under
+// the goroutine checker: each cycle's connection handler must wind down
+// once the client hangs up (the binary session reads the quit op or
+// EOF and exits).
+func TestBinaryClientLifecycleNoLeak(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv, _, addr := startFlightedServer(t, "binlife")
+	for i := 0; i < 3; i++ {
+		bc, err := DialBinary(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.Set("lk", []byte("lv"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if it, err := bc.Get("lk"); err != nil || string(it.Value) != "lv" {
+			t.Fatalf("get = %q, %v", it.Value, err)
+		}
+		if err := bc.Close(); err != nil {
+			t.Fatalf("close cycle %d: %v", i, err)
+		}
+	}
+	waitServerIdle(t, srv)
+}
+
+// TestBinaryClientOpsAfterCloseFail: a closed client must return errors
+// rather than blocking on the dead connection.
+func TestBinaryClientOpsAfterCloseFail(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv, _, addr := startFlightedServer(t, "binclosed")
+	bc, err := DialBinary(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Set("k", []byte("v"), 0, 0); err == nil {
+		t.Fatal("Set on a closed client succeeded")
+	}
+	if _, err := bc.Get("k"); err == nil {
+		t.Fatal("Get on a closed client succeeded")
+	}
+	waitServerIdle(t, srv)
+}

@@ -36,7 +36,12 @@ func TestUDPWriteFailureCountsDropped(t *testing.T) {
 	peer := conn.LocalAddr().(*net.UDPAddr)
 	conn.Close() // every WriteToUDP from here on fails
 
-	u := &UDPServer{store: st, conn: conn, ops: srv.ops, nowNanos: srv.nowNanos}
+	u := &UDPServer{store: st, conn: conn, ops: srv.ops, nowNanos: srv.nowNanos,
+		sem: make(chan struct{}, 1)}
+	// handle expects serve's preamble: a semaphore slot held and the
+	// handler registered with the WaitGroup (release undoes both).
+	u.sem <- struct{}{}
+	u.handlers.Add(1)
 	u.handle(7, []byte("version\r\n"), peer)
 
 	if got := u.Dropped(); got != 1 {

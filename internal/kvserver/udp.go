@@ -20,6 +20,12 @@ const (
 	udpHeaderLen  = protocol.UDPHeaderLen
 	udpMaxPayload = protocol.UDPMaxPayload
 	udpReadBuffer = 64 << 10
+	// udpMaxInflight bounds concurrent datagram handlers. Without it a
+	// request burst spawns one goroutine per datagram with no ceiling —
+	// the lifecycle/spawnloop shape — and a slow store turns load
+	// directly into unbounded memory. At the bound the read loop stops
+	// pulling datagrams and the kernel socket buffer does the shedding.
+	udpMaxInflight = 128
 )
 
 // UDPServer answers memcached ASCII commands over UDP.
@@ -38,6 +44,11 @@ type UDPServer struct {
 	mu     sync.Mutex
 	closed bool //kv3d:guardedby mu
 
+	// sem bounds in-flight handlers (udpMaxInflight); handlers counts
+	// them so Close can wait for the last response to be written.
+	sem      chan struct{}
+	handlers sync.WaitGroup
+
 	handled uint64 //kv3d:guardedby statsMu
 	dropped uint64 //kv3d:guardedby statsMu
 	statsMu sync.Mutex
@@ -53,7 +64,10 @@ func (s *Server) ListenUDP(addr string) (*UDPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &UDPServer{store: s.store, conn: conn, ops: s.ops, nowNanos: s.nowNanos, flight: s.flight}
+	u := &UDPServer{
+		store: s.store, conn: conn, ops: s.ops, nowNanos: s.nowNanos, flight: s.flight,
+		sem: make(chan struct{}, udpMaxInflight),
+	}
 	go u.serve()
 	return u, nil
 }
@@ -61,12 +75,15 @@ func (s *Server) ListenUDP(addr string) (*UDPServer, error) {
 // Addr reports the bound UDP address.
 func (u *UDPServer) Addr() net.Addr { return u.conn.LocalAddr() }
 
-// Close stops the UDP listener.
+// Close stops the UDP listener and waits for in-flight datagram
+// handlers to finish writing their responses.
 func (u *UDPServer) Close() error {
 	u.mu.Lock()
 	u.closed = true
 	u.mu.Unlock()
-	return u.conn.Close()
+	err := u.conn.Close()
+	u.handlers.Wait()
+	return err
 }
 
 // Handled reports successfully answered datagrams.
@@ -103,8 +120,18 @@ func (u *UDPServer) serve() {
 		}
 		payload := make([]byte, len(src))
 		copy(payload, src)
+		u.sem <- struct{}{}
+		u.handlers.Add(1)
 		go u.handle(reqID, payload, peer)
 	}
+}
+
+// release frees one handler's semaphore slot and WaitGroup count (a
+// method rather than a closure so the hot-path defer does not allocate
+// a capture environment).
+func (u *UDPServer) release() {
+	<-u.sem
+	u.handlers.Done()
 }
 
 func (u *UDPServer) drop() {
@@ -124,10 +151,13 @@ func (e *udpExchange) Read(p []byte) (int, error)  { return e.in.Read(p) }
 func (e *udpExchange) Write(p []byte) (int, error) { return e.out.Write(p) }
 
 // handle runs the ASCII command(s) in one datagram and sends the
-// (possibly fragmented) response.
+// (possibly fragmented) response. The caller (serve) has already
+// acquired a semaphore slot and registered the handler with the
+// WaitGroup; the deferred release undoes both.
 //
 //kv3d:hotpath
 func (u *UDPServer) handle(reqID uint16, payload []byte, peer *net.UDPAddr) {
+	defer u.release()
 	rw := &udpExchange{in: bytes.NewReader(payload)}
 	sess := protocol.NewSession(u.store, rw)
 	sess.SetObserver(u.ops, u.nowNanos)

@@ -139,6 +139,8 @@ func (s *shard) get(key string, now int64) (value []byte, flags uint32, casID ui
 }
 
 // getInto is a zero-copy-ish variant: appends the value to dst.
+//
+//kv3d:aliases dst
 func (s *shard) getInto(dst []byte, key string, now int64) (value []byte, flags uint32, casID uint64, ok bool) {
 	it := s.live(key, now)
 	if it == nil {
@@ -152,6 +154,8 @@ func (s *shard) getInto(dst []byte, key string, now int64) (value []byte, flags 
 
 // getIntoBytes is getInto with a byte-slice key, for the protocol hot
 // path where the key is a token of the request line.
+//
+//kv3d:aliases dst
 func (s *shard) getIntoBytes(dst, key []byte, now int64) (value []byte, flags uint32, casID uint64, ok bool) {
 	it := s.liveBytes(key, now)
 	if it == nil {

@@ -214,6 +214,7 @@ func (st *Store) Get(key string) (Entry, bool) {
 // avoiding a per-hit allocation on the server hot path.
 //
 //kv3d:hotpath
+//kv3d:aliases dst
 func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
 	sh := st.shardFor(key)
 	now := st.clock()
@@ -229,6 +230,7 @@ func (st *Store) GetInto(dst []byte, key string) ([]byte, Entry, bool) {
 // (hashing and hash-chain comparison never allocate).
 //
 //kv3d:hotpath
+//kv3d:aliases dst
 func (st *Store) GetIntoBytes(dst, key []byte) ([]byte, Entry, bool) {
 	sh := st.shardForBytes(key)
 	now := st.clock()

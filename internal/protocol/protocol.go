@@ -339,6 +339,8 @@ func (s *Session) dispatch(verb, rest []byte) error {
 
 // nextToken splits off the next space-delimited token (memcached's
 // separator) without allocating; both return values alias the input.
+//
+//kv3d:aliases b
 func nextToken(b []byte) (tok, rest []byte) {
 	i := 0
 	for i < len(b) && b[i] == ' ' {
@@ -434,13 +436,13 @@ func (s *Session) doGet(rest []byte, withCAS bool) error {
 	// Multi-key: collect the tokens (they alias lineBuf, which stays
 	// untouched until the next readLine), run one batched lookup, then
 	// emit VALUE blocks in request order.
-	s.keyBuf = append(s.keyBuf[:0], key, second)
+	s.keyBuf = append(s.keyBuf[:0], key, second) //nolint:kv3d -- keyBuf entries alias lineBuf; both are this session's scratch, consumed before the next readLine overwrites them
 	for {
 		key, rest = nextToken(rest)
 		if len(key) == 0 {
 			break
 		}
-		s.keyBuf = append(s.keyBuf, key)
+		s.keyBuf = append(s.keyBuf, key) //nolint:kv3d -- same session-scratch self-alias as above; keyBuf is reset at the next multiget
 	}
 	s.markParse()
 	s.valBuf, s.batchBuf = s.store.GetBatchInto(s.valBuf[:0], s.keyBuf, s.batchBuf[:0], &s.batchScr)
