@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"kv3d/internal/kvclient"
 	"kv3d/internal/metrics"
 	"kv3d/internal/obs"
+	"kv3d/internal/protocol"
 	"kv3d/internal/workload"
 )
 
@@ -46,10 +48,40 @@ func main() {
 	zipf := flag.Float64("zipf", 1.01, "load: key popularity skew (0 = uniform)")
 	seed := flag.Uint64("seed", 1, "load: RNG seed")
 	probes := flag.Bool("probes", false, "load: use the cluster client and dump kvclient.* probes as JSON on exit")
+	addrs := flag.String("addrs", "", "load: comma-separated cluster node addresses (default: just -addr); implies the cluster client")
+	replicas := flag.Int("replicas", 1, "load: cluster replica count per key")
+	writeMode := flag.String("write-mode", "default", "load: per-op replication mode for cluster writes: default, async, or quorum (binary cluster)")
+	readRepair := flag.Bool("read-repair", false, "load: repair divergent replicas on cluster reads")
 	flag.Parse()
 
+	mode, ok := protocol.ParseReplMode(*writeMode)
+	if !ok {
+		log.Fatalf("kv3d-client: -write-mode must be default, async, or quorum, got %q", *writeMode)
+	}
+	nodeAddrs := []string{*addr}
+	if *addrs != "" {
+		nodeAddrs = nodeAddrs[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				nodeAddrs = append(nodeAddrs, a)
+			}
+		}
+	}
 	if *load {
-		runLoad(*addr, *conns, *duration, *getFraction, *valueSize, *keys, *zipf, *seed, *probes)
+		runLoad(loadConfig{
+			addrs:       nodeAddrs,
+			conns:       *conns,
+			duration:    *duration,
+			getFraction: *getFraction,
+			valueSize:   *valueSize,
+			keys:        *keys,
+			zipf:        *zipf,
+			seed:        *seed,
+			probes:      *probes,
+			replicas:    *replicas,
+			writeMode:   mode,
+			readRepair:  *readRepair,
+		})
 		return
 	}
 	if *probes {
@@ -129,14 +161,50 @@ func runCommand(addr string, args []string) {
 }
 
 // loadConn is the surface the load loop needs; both the plain Client
-// and the ClusterClient (selected by -probes) satisfy it.
+// and the ClusterClient (selected by -probes or any cluster flag)
+// satisfy it.
 type loadConn interface {
 	Get(key string) (kvclient.Item, error)
 	Set(key string, value []byte, flags uint32, exptime int64) error
 	Close() error
 }
 
-func runLoad(addr string, conns int, duration time.Duration, getFraction float64, valueSize int64, keys int, zipf float64, seed uint64, probes bool) {
+// loadConfig carries the load generator's knobs.
+type loadConfig struct {
+	addrs       []string
+	conns       int
+	duration    time.Duration
+	getFraction float64
+	valueSize   int64
+	keys        int
+	zipf        float64
+	seed        uint64
+	probes      bool
+	replicas    int
+	writeMode   protocol.ReplMode
+	readRepair  bool
+}
+
+// modeConn routes Sets through SetMode so the chosen consistency mode
+// rides every write.
+type modeConn struct {
+	*kvclient.ClusterClient
+	mode protocol.ReplMode
+}
+
+func (c modeConn) Set(key string, value []byte, flags uint32, exptime int64) error {
+	return c.ClusterClient.SetMode(key, value, flags, exptime, c.mode)
+}
+
+func runLoad(lc loadConfig) {
+	addr := lc.addrs[0]
+	conns, duration := lc.conns, lc.duration
+	getFraction, valueSize := lc.getFraction, lc.valueSize
+	keys, zipf, seed := lc.keys, lc.zipf, lc.seed
+	// Any cluster-layer knob routes through the ClusterClient; plain
+	// single-connection load otherwise.
+	useCluster := lc.probes || len(lc.addrs) > 1 || lc.replicas > 1 ||
+		lc.writeMode != protocol.ReplDefault || lc.readRepair
 	var (
 		ops      atomic.Uint64
 		hits     atomic.Uint64
@@ -146,18 +214,28 @@ func runLoad(addr string, conns int, duration time.Duration, getFraction float64
 		combined = metrics.NewHistogram()
 	)
 	var reg *obs.Registry
-	if probes {
+	if lc.probes {
 		reg = obs.NewRegistry()
 	}
 	dial := func(worker int) (loadConn, error) {
-		if reg == nil {
+		if !useCluster {
 			return kvclient.Dial(addr)
 		}
-		return kvclient.NewCluster(kvclient.ClusterConfig{
-			Addrs:  []string{addr},
-			Probes: reg,
-			Seed:   seed + uint64(worker),
+		cc, err := kvclient.NewCluster(kvclient.ClusterConfig{
+			Addrs:      lc.addrs,
+			Replicas:   lc.replicas,
+			Binary:     lc.writeMode != protocol.ReplDefault,
+			ReadRepair: lc.readRepair,
+			Probes:     reg,
+			Seed:       seed + uint64(worker),
 		})
+		if err != nil {
+			return nil, err
+		}
+		if lc.writeMode != protocol.ReplDefault {
+			return modeConn{cc, lc.writeMode}, nil
+		}
+		return cc, nil
 	}
 	value := make([]byte, valueSize)
 	for i := range value {

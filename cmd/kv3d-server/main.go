@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -16,14 +17,33 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"kv3d/internal/cluster"
+	"kv3d/internal/kvclient"
 	"kv3d/internal/kvserver"
 	"kv3d/internal/kvstore"
 	"kv3d/internal/obs"
+	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
 )
+
+// replAdapter bridges kvclient.BinaryClient to kvserver.ReplConn
+// (kvserver cannot import kvclient itself); delete-of-absent folds to
+// success per the ReplConn contract.
+type replAdapter struct{ *kvclient.BinaryClient }
+
+func (a replAdapter) DeleteWithMode(key string, mode protocol.ReplMode) error {
+	err := a.BinaryClient.DeleteWithMode(key, mode)
+	if errors.Is(err, kvclient.ErrNotFound) {
+		return nil
+	}
+	return err
+}
 
 func parseSize(s string) (int64, error) {
 	s = strings.ToLower(strings.TrimSpace(s))
@@ -59,6 +79,11 @@ func main() {
 	flightCap := flag.Int("flight", 0, "flight-recorder ring capacity in events (0 = recording off)")
 	flightEvery := flag.Int("flight-every", 64, "sample one op in every N per session (1 = trace every op)")
 	telemetry := flag.Duration("telemetry", 0, "runtime telemetry sampling period exported via /metrics (0 = off)")
+	peers := flag.String("peers", "", "comma-separated peer addresses; enables replica write fan-out (every node must pass the same list)")
+	self := flag.String("self", "", "this node's address as peers dial it (default: -addr)")
+	replicas := flag.Int("replicas", 2, "replica-set size R when -peers is set")
+	replDefault := flag.String("repl-default", "async", "consistency for writes that don't pick one: async or quorum")
+	quorumTimeout := flag.Duration("quorum-timeout", 2*time.Second, "how long a quorum write waits for replica acks")
 	flag.Parse()
 
 	limit, err := parseSize(*memory)
@@ -105,6 +130,65 @@ func main() {
 	}
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("kv3d-server: %v", err)
+	}
+	if *peers != "" {
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = srv.Addr().String()
+		}
+		// Join the full member set (self included) in sorted order, so
+		// every node that was handed the same -peers list derives the
+		// same membership versions and ownership epochs.
+		members := map[string]bool{selfAddr: true}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members[p] = true
+			}
+		}
+		sorted := make([]string, 0, len(members))
+		for m := range members {
+			sorted = append(sorted, m)
+		}
+		sort.Strings(sorted)
+		mem := cluster.NewMembership(0)
+		for _, m := range sorted {
+			mem.Join(m, 1)
+		}
+		mode, ok := protocol.ParseReplMode(*replDefault)
+		if !ok || (mode != protocol.ReplAsync && mode != protocol.ReplQuorum) {
+			log.Fatalf("kv3d-server: -repl-default must be async or quorum, got %q", *replDefault)
+		}
+		repl, err := kvserver.NewReplicator(kvserver.ReplOptions{
+			Self:          selfAddr,
+			Membership:    mem,
+			Replicas:      *replicas,
+			DefaultMode:   mode,
+			QuorumTimeout: *quorumTimeout,
+			Flight:        rec,
+			NowNanos:      func() sim.Ns { return sim.Ns(time.Now().UnixNano()) },
+			Dial: func(addr string) (kvserver.ReplConn, error) {
+				bc, err := kvclient.DialBinaryOptions(addr, kvclient.Options{
+					DialTimeout: *quorumTimeout, OpTimeout: *quorumTimeout,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return replAdapter{bc}, nil
+			},
+		})
+		if err != nil {
+			log.Fatalf("kv3d-server: %v", err)
+		}
+		defer repl.Close()
+		mig, err := kvserver.NewMigrator(kvserver.MigOptions{Store: store})
+		if err != nil {
+			log.Fatalf("kv3d-server: %v", err)
+		}
+		defer mig.Close()
+		srv.SetReplicator(repl)
+		srv.SetMigrator(mig)
+		log.Printf("kv3d-server: replication on as %s (R=%d, default %s, %d members)",
+			selfAddr, *replicas, mode, len(sorted))
 	}
 	if *crawlEvery > 0 {
 		crawler := store.StartCrawler(*crawlEvery)

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMembershipJoinLeaveVersions(t *testing.T) {
+	m := NewMembership(32)
+	if v := m.Version(); v != 0 {
+		t.Fatalf("fresh membership version = %d, want 0", v)
+	}
+	d1 := m.Join("a", 1)
+	if d1.Version != 1 || len(d1.Joined) != 1 || d1.Joined[0] != "a" {
+		t.Fatalf("join delta = %+v", d1)
+	}
+	d2 := m.Join("b", 2)
+	if d2.Version != 2 {
+		t.Fatalf("second join version = %d, want 2", d2.Version)
+	}
+	// Idempotent join: no version bump, no changes.
+	d3 := m.Join("a", 1)
+	if d3.Version != 2 || d3.Joined != nil || d3.Left != nil {
+		t.Fatalf("re-join delta = %+v, want no-op at version 2", d3)
+	}
+	d4 := m.Leave("a")
+	if d4.Version != 3 || len(d4.Left) != 1 || d4.Left[0] != "a" {
+		t.Fatalf("leave delta = %+v", d4)
+	}
+	if m.Contains("a") {
+		t.Fatal("a still a member after leave")
+	}
+	// Idempotent leave.
+	d5 := m.Leave("a")
+	if d5.Version != 3 || d5.Left != nil {
+		t.Fatalf("re-leave delta = %+v, want no-op at version 3", d5)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("member count = %d, want 1", m.Len())
+	}
+}
+
+func TestMembershipEpochsTrackRejoin(t *testing.T) {
+	m := NewMembership(32)
+	m.Join("a", 1) // version 1
+	m.Join("b", 1) // version 2
+	v := m.View()
+	if v.Epochs["a"] != 1 || v.Epochs["b"] != 2 {
+		t.Fatalf("epochs = %v, want a:1 b:2", v.Epochs)
+	}
+	m.Leave("a")   // version 3
+	m.Join("a", 1) // version 4: rejoin gets a fresh epoch
+	v = m.View()
+	if v.Epochs["a"] != 4 {
+		t.Fatalf("rejoined epoch = %d, want 4", v.Epochs["a"])
+	}
+	if v.Version != 4 {
+		t.Fatalf("version = %d, want 4", v.Version)
+	}
+}
+
+func TestMembershipViewEqualAndIndependence(t *testing.T) {
+	m1 := NewMembership(32)
+	m2 := NewMembership(32)
+	for _, n := range []string{"a", "b", "c"} {
+		m1.Join(n, 1)
+		m2.Join(n, 1)
+	}
+	if !m1.View().Equal(m2.View()) {
+		t.Fatal("same join sequence produced unequal views")
+	}
+	m2.Leave("c")
+	if m1.View().Equal(m2.View()) {
+		t.Fatal("diverged memberships compare equal")
+	}
+	// A snapshot must not alias internal state.
+	v := m1.View()
+	v.Epochs["a"] = 99
+	if m1.View().Epochs["a"] == 99 {
+		t.Fatal("View aliases internal epoch map")
+	}
+}
+
+func TestMembershipWatchOrder(t *testing.T) {
+	m := NewMembership(32)
+	var got []uint64
+	m.Watch(func(d Delta) { got = append(got, d.Version) })
+	m.Join("a", 1)
+	m.Join("b", 1)
+	m.Leave("a")
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("watcher saw versions %v, want [1 2 3]", got)
+	}
+}
+
+func TestMembershipKeyEpoch(t *testing.T) {
+	m := NewMembership(32)
+	m.Join("a", 1)
+	m.Join("b", 1)
+	ep, err := m.KeyEpoch("some-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := m.Ring().Locate("some-key")
+	if want := m.View().Epochs[owner]; ep != want {
+		t.Fatalf("KeyEpoch = %d, want owner %q epoch %d", ep, owner, want)
+	}
+}
+
+// TestMembershipConcurrentChurn drives joins and leaves from many
+// goroutines; versions must stay unique and strictly account for every
+// applied transition (run under -race in CI).
+func TestMembershipConcurrentChurn(t *testing.T) {
+	m := NewMembership(16)
+	seen := make(map[uint64]bool)
+	var seenMu sync.Mutex
+	m.Watch(func(d Delta) {
+		seenMu.Lock()
+		if seen[d.Version] {
+			t.Errorf("version %d delivered twice", d.Version)
+		}
+		seen[d.Version] = true
+		seenMu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				node := fmt.Sprintf("n%d-%d", w, i)
+				m.Join(node, 1)
+				if i%2 == 0 {
+					m.Leave(node)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 4 workers x (50 joins + 25 leaves) = 300 versions.
+	if v := m.Version(); v != 300 {
+		t.Fatalf("final version = %d, want 300", v)
+	}
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	if len(seen) != 300 {
+		t.Fatalf("watcher saw %d distinct versions, want 300", len(seen))
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"kv3d/internal/sim"
+)
+
+// TestRingLocateNProperties is the seeded property test for the
+// replica-placement invariants the replication layer leans on:
+//
+//  1. LocateN's answer contains no duplicate nodes.
+//  2. Its length is exactly min(n, Len()) — every distinct node is
+//     found when fewer than n exist, and never more than n.
+//  3. Every returned node is a current member.
+//  4. Placement is a pure function of ring state: asking twice with no
+//     intervening mutation yields the identical answer, and removing a
+//     node not in a key's replica set leaves that key's replica set
+//     unchanged (the consistent-hashing locality property).
+//
+// The ring is churned with interleaved seeded AddWeighted/Remove
+// between assertion rounds, table-driven over seeds and replica counts.
+func TestRingLocateNProperties(t *testing.T) {
+	cases := []struct {
+		seed     uint64
+		virtual  int
+		replicas int
+	}{
+		{seed: 1, virtual: 16, replicas: 1},
+		{seed: 2, virtual: 16, replicas: 2},
+		{seed: 3, virtual: 64, replicas: 3},
+		{seed: 4, virtual: 8, replicas: 5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d-v%d-r%d", tc.seed, tc.virtual, tc.replicas), func(t *testing.T) {
+			rng := sim.NewRand(tc.seed)
+			ring := NewRing(tc.virtual)
+			members := map[string]bool{}
+			nextID := 0
+
+			keys := make([]string, 40)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("prop-key-%d-%d", tc.seed, i)
+			}
+
+			for round := 0; round < 60; round++ {
+				// Churn: weighted add or remove, seeded.
+				if len(members) == 0 || rng.Float64() < 0.6 {
+					node := fmt.Sprintf("node-%d", nextID)
+					nextID++
+					ring.AddWeighted(node, 1+rng.Intn(3))
+					members[node] = true
+				} else {
+					// Remove an arbitrary member (deterministic pick:
+					// lowest-numbered live node offset by a seeded draw).
+					var live []string
+					for n := range members {
+						live = append(live, n)
+					}
+					sortStrings(live)
+					victim := live[rng.Intn(len(live))]
+					ring.Remove(victim)
+					delete(members, victim)
+				}
+
+				if len(members) == 0 {
+					continue
+				}
+				for _, key := range keys {
+					owners, err := ring.LocateN(key, tc.replicas)
+					if err != nil {
+						t.Fatalf("round %d: LocateN(%q): %v", round, key, err)
+					}
+					want := tc.replicas
+					if len(members) < want {
+						want = len(members)
+					}
+					if len(owners) != want {
+						t.Fatalf("round %d: LocateN(%q) returned %d owners, want min(n, Len()) = %d",
+							round, key, len(owners), want)
+					}
+					seen := map[string]bool{}
+					for _, o := range owners {
+						if seen[o] {
+							t.Fatalf("round %d: duplicate owner %q for %q: %v", round, o, key, owners)
+						}
+						seen[o] = true
+						if !members[o] {
+							t.Fatalf("round %d: owner %q of %q is not a member", round, o, key)
+						}
+					}
+					// Determinism: same state, same answer.
+					again, err := ring.LocateN(key, tc.replicas)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !equalStrings(owners, again) {
+						t.Fatalf("round %d: LocateN(%q) unstable with no mutation: %v then %v",
+							round, key, owners, again)
+					}
+				}
+
+				// Locality: removing a node outside key 0's replica set
+				// must not change key 0's replica set.
+				if len(members) > tc.replicas+1 {
+					owners, _ := ring.LocateN(keys[0], tc.replicas)
+					inSet := map[string]bool{}
+					for _, o := range owners {
+						inSet[o] = true
+					}
+					var outsider string
+					var live []string
+					for n := range members {
+						live = append(live, n)
+					}
+					sortStrings(live)
+					for _, n := range live {
+						if !inSet[n] {
+							outsider = n
+							break
+						}
+					}
+					if outsider != "" {
+						ring.Remove(outsider)
+						delete(members, outsider)
+						after, _ := ring.LocateN(keys[0], tc.replicas)
+						if !equalStrings(owners, after) {
+							t.Fatalf("round %d: removing outsider %q changed replica set %v -> %v",
+								round, outsider, owners, after)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

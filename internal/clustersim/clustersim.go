@@ -72,6 +72,13 @@ type Result struct {
 	// when the run ended (0 without a fault plan).
 	FailedStacks   int
 	DegradedStacks int
+	// JoinedStacks counts stacks added by NodeJoin events beyond the
+	// initial set and still members at run end; LeftStacks counts
+	// initial stacks that left via NodeLeave and did not rejoin.
+	JoinedStacks int
+	LeftStacks   int
+	// MembershipEvents counts applied join/leave/partition events.
+	MembershipEvents int
 	// SurvivingCapacityFraction is the end-of-run sum of per-stack
 	// capacity factors (failed = 0, degraded = Arg%) over the stack
 	// count; 1.0 means full health.
@@ -124,17 +131,38 @@ func Run(cfg Config) (Result, error) {
 	var sched *faults.Schedule
 	capacity := map[string]float64{}
 	down := map[string]bool{}
-	applied, lost := 0, 0
+	// Membership state beyond up/down: initial members, stacks that
+	// left gracefully, extra stacks joined mid-run, and open partition
+	// windows (target -> window end on the request-index time axis).
+	initial := map[string]bool{}
+	left := map[string]bool{}
+	extra := map[string]bool{}
+	partEnd := map[string]sim.Duration{}
+	applied, lost, memberEvents := 0, 0, 0
 	if cfg.Faults != nil {
 		sched = cfg.Faults.Schedule()
 		for _, name := range names {
 			capacity[name] = 1
+			initial[name] = true
 		}
 	}
 	perStack := make(map[string]int, cfg.Stacks)
 	for i := 0; i < cfg.Requests; i++ {
 		if sched != nil {
-			for _, ev := range sched.Due(sim.Duration(i) * sim.Microsecond) {
+			now := sim.Duration(i) * sim.Microsecond
+			// Close expired partition windows: the target rejoins the
+			// ring unless it is also down or has left.
+			if len(partEnd) > 0 {
+				for tgt, end := range partEnd {
+					if now >= end {
+						delete(partEnd, tgt)
+						if !down[tgt] && !left[tgt] {
+							ring.Add(tgt)
+						}
+					}
+				}
+			}
+			for _, ev := range sched.Due(now) {
 				applied++
 				switch ev.Kind {
 				case faults.StackFail, faults.NodeDown:
@@ -147,9 +175,39 @@ func Run(cfg Config) (Result, error) {
 				case faults.StackRecover, faults.NodeUp:
 					if down[ev.Target] {
 						down[ev.Target] = false
-						ring.Add(ev.Target)
+						if _, parted := partEnd[ev.Target]; !parted && !left[ev.Target] {
+							ring.Add(ev.Target)
+						}
 					}
 					capacity[ev.Target] = 1
+				case faults.NodeJoin:
+					memberEvents++
+					if left[ev.Target] {
+						delete(left, ev.Target)
+					} else if !initial[ev.Target] && !extra[ev.Target] {
+						extra[ev.Target] = true
+						capacity[ev.Target] = 1
+					}
+					if !down[ev.Target] {
+						if _, parted := partEnd[ev.Target]; !parted {
+							ring.Add(ev.Target)
+						}
+					}
+				case faults.NodeLeave:
+					memberEvents++
+					if extra[ev.Target] {
+						delete(extra, ev.Target)
+					} else if initial[ev.Target] {
+						left[ev.Target] = true
+					}
+					ring.Remove(ev.Target)
+				case faults.Partition:
+					memberEvents++
+					end := ev.At + ev.For
+					if cur, ok := partEnd[ev.Target]; !ok || end > cur {
+						partEnd[ev.Target] = end
+					}
+					ring.Remove(ev.Target)
 				}
 			}
 		}
@@ -185,6 +243,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	survCap := 1.0
 	failedCount, degradedCount := 0, 0
+	joinedCount, leftCount := 0, 0
 	if cfg.Faults != nil {
 		sum := 0.0
 		for _, name := range names {
@@ -193,12 +252,16 @@ func Run(cfg Config) (Result, error) {
 			case down[name]:
 				c = 0
 				failedCount++
+			case left[name]:
+				c = 0
+				leftCount++
 			case c < 1:
 				degradedCount++
 			}
 			sum += c
 		}
 		survCap = sum / float64(cfg.Stacks)
+		joinedCount = len(extra)
 	}
 	served := cfg.Requests - lost
 	maxLoad := 0
@@ -211,6 +274,9 @@ func Run(cfg Config) (Result, error) {
 		PerStack:                  perStack,
 		FailedStacks:              failedCount,
 		DegradedStacks:            degradedCount,
+		JoinedStacks:              joinedCount,
+		LeftStacks:                leftCount,
+		MembershipEvents:          memberEvents,
 		SurvivingCapacityFraction: survCap,
 		LostRequests:              lost,
 	}

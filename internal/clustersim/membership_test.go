@@ -1,0 +1,159 @@
+package clustersim
+
+import (
+	"testing"
+
+	"kv3d/internal/faults"
+	"kv3d/internal/sim"
+)
+
+// TestJoinDuringFlashCrowd is the sim half of the ISSUE's "join during
+// flash crowd" chaos scenario: a new stack joins mid-run while a
+// Zipf-skewed crowd hammers the cluster. No request may be lost, the
+// joiner must end up serving traffic, and the run must stay
+// deterministic.
+func TestJoinDuringFlashCrowd(t *testing.T) {
+	cfg := faultCfg(40_000)
+	cfg.ZipfSkew = 1.01 // flash crowd: heavy skew onto few keys
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			// Scale-out join at the 25% mark, while the crowd is hot.
+			{At: 10_000 * sim.Microsecond, Kind: faults.NodeJoin, Target: "stack-90"},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostRequests != 0 {
+		t.Fatalf("join during flash crowd lost %d requests", r.LostRequests)
+	}
+	if r.JoinedStacks != 1 {
+		t.Fatalf("JoinedStacks = %d, want 1", r.JoinedStacks)
+	}
+	if r.MembershipEvents != 1 {
+		t.Fatalf("MembershipEvents = %d, want 1", r.MembershipEvents)
+	}
+	if r.PerStack["stack-90"] == 0 {
+		t.Fatal("joined stack served no traffic")
+	}
+	// The joiner only sees the last 75% of the run, so it must carry
+	// less than an incumbent's fair share.
+	if fair := cfg.Requests / cfg.Stacks; r.PerStack["stack-90"] >= fair {
+		t.Fatalf("joiner served %d requests, >= full-run fair share %d", r.PerStack["stack-90"], fair)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range r.PerStack {
+		if again.PerStack[name] != n {
+			t.Fatalf("membership run not deterministic: %s %d vs %d", name, n, again.PerStack[name])
+		}
+	}
+}
+
+// TestLeaveRedistributesWithoutLoss: a graceful NodeLeave mid-run hands
+// the target's key ranges to the survivors with zero lost requests, and
+// the departed stack counts as zero surviving capacity.
+func TestLeaveRedistributesWithoutLoss(t *testing.T) {
+	cfg := faultCfg(40_000)
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 20_000 * sim.Microsecond, Kind: faults.NodeLeave, Target: "stack-03"},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostRequests != 0 {
+		t.Fatalf("graceful leave lost %d requests", r.LostRequests)
+	}
+	if r.LeftStacks != 1 || r.FailedStacks != 0 {
+		t.Fatalf("LeftStacks = %d FailedStacks = %d, want 1 and 0", r.LeftStacks, r.FailedStacks)
+	}
+	want := float64(cfg.Stacks-1) / float64(cfg.Stacks)
+	if r.SurvivingCapacityFraction != want {
+		t.Fatalf("SurvivingCapacityFraction = %v, want %v", r.SurvivingCapacityFraction, want)
+	}
+	// The leaver saw only the first half of the run.
+	baseline, err := Run(faultCfg(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerStack["stack-03"] >= baseline.PerStack["stack-03"] {
+		t.Fatalf("leaver served %d requests, not less than full-run %d",
+			r.PerStack["stack-03"], baseline.PerStack["stack-03"])
+	}
+}
+
+// TestPartitionHealsWithoutCapacityLoss: a partition window diverts the
+// target's traffic while open, then the target rejoins the ring when it
+// closes — no request lost, no capacity marked failed (the node was
+// healthy all along, only unreachable).
+func TestPartitionHealsWithoutCapacityLoss(t *testing.T) {
+	cfg := faultCfg(40_000)
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 10_000 * sim.Microsecond, Kind: faults.Partition,
+				Target: "stack-05", For: 10_000 * sim.Microsecond},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostRequests != 0 {
+		t.Fatalf("partition lost %d requests", r.LostRequests)
+	}
+	if r.FailedStacks != 0 || r.LeftStacks != 0 {
+		t.Fatalf("partition marked stacks failed/left: %+v", r)
+	}
+	if r.SurvivingCapacityFraction != 1.0 {
+		t.Fatalf("SurvivingCapacityFraction = %v, want 1.0 (partition is not a failure)",
+			r.SurvivingCapacityFraction)
+	}
+	// The window covers a quarter of the run; the target still serves
+	// traffic outside it, but less than its unpartitioned baseline.
+	baseline, err := Run(faultCfg(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerStack["stack-05"] == 0 {
+		t.Fatal("partitioned stack served no traffic at all")
+	}
+	if r.PerStack["stack-05"] >= baseline.PerStack["stack-05"] {
+		t.Fatalf("partitioned stack served %d requests, not less than baseline %d",
+			r.PerStack["stack-05"], baseline.PerStack["stack-05"])
+	}
+}
+
+// TestLeaveThenRejoinRestoresMembership: leave + rejoin of the same
+// stack nets out to full capacity and zero LeftStacks at run end.
+func TestLeaveThenRejoinRestoresMembership(t *testing.T) {
+	cfg := faultCfg(40_000)
+	cfg.Faults = &faults.Plan{
+		Horizon: sim.Duration(cfg.Requests) * sim.Microsecond,
+		Events: []faults.Event{
+			{At: 10_000 * sim.Microsecond, Kind: faults.NodeLeave, Target: "stack-06"},
+			{At: 25_000 * sim.Microsecond, Kind: faults.NodeJoin, Target: "stack-06"},
+		},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostRequests != 0 || r.LeftStacks != 0 || r.JoinedStacks != 0 {
+		t.Fatalf("leave+rejoin should net out: %+v", r)
+	}
+	if r.MembershipEvents != 2 {
+		t.Fatalf("MembershipEvents = %d, want 2", r.MembershipEvents)
+	}
+	if r.SurvivingCapacityFraction != 1.0 {
+		t.Fatalf("SurvivingCapacityFraction = %v, want 1.0 after rejoin", r.SurvivingCapacityFraction)
+	}
+}

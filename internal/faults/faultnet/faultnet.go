@@ -40,6 +40,7 @@ func GoDuration(d sim.Duration) time.Duration {
 // end instant; instantaneous ones are flags/counters.
 type state struct {
 	down            bool
+	partitionUntil  time.Time
 	resetPending    int
 	latency         time.Duration
 	latencyUntil    time.Time
@@ -120,6 +121,23 @@ func (in *Injector) Apply(ev faults.Event) {
 		st.writeStallUntil = now.Add(window)
 	case faults.UDPDrop:
 		st.dropUntil = now.Add(window)
+	case faults.Partition:
+		// Unreachable, not dead: new connections are refused and
+		// established ones stall until the window closes, but nothing is
+		// reset — acknowledged state on the node survives.
+		end := now.Add(window)
+		st.partitionUntil = end
+		if end.After(st.readStallUntil) {
+			st.readStallUntil = end
+		}
+		if end.After(st.writeStallUntil) {
+			st.writeStallUntil = end
+		}
+	case faults.NodeJoin, faults.NodeLeave:
+		// Membership transitions are cluster-level, not socket-level:
+		// the harness driving the plan applies them to its Membership.
+		// The injector only counts them so chaos runs can assert the
+		// schedule was delivered.
 	}
 	in.mu.Unlock()
 	in.count("faultnet.injected." + ev.Kind.String())
@@ -142,6 +160,15 @@ func (in *Injector) IsDown(target string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.target(target).down
+}
+
+// unreachable reports whether the target should refuse new connections:
+// down, or inside a partition window.
+func (in *Injector) unreachable(target string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.target(target)
+	return st.down || st.partitionUntil.After(time.Now())
 }
 
 // decide computes what to do to one I/O op: how long to delay, and
@@ -265,8 +292,8 @@ func (l *faultListener) Accept() (net.Conn, error) {
 		if err != nil {
 			return nil, err
 		}
-		if l.inj.IsDown(l.target) {
-			c.Close() //nolint:kv3d -- refusing a connection to a down node; its close error is noise
+		if l.inj.unreachable(l.target) {
+			c.Close() //nolint:kv3d -- refusing a connection to a down or partitioned node; its close error is noise
 			l.inj.count("faultnet.refused_conns")
 			continue
 		}

@@ -53,6 +53,19 @@ const (
 	StackDegrade
 	// StackRecover restores a failed or degraded stack to full health.
 	StackRecover
+	// NodeJoin adds the target to the cluster membership at the event
+	// time — a scale-out or rejoin event. The consumer (clustersim's
+	// ring, a live harness's Membership) decides what joining means.
+	NodeJoin
+	// NodeLeave removes the target from the cluster membership — a
+	// graceful departure, which unlike NodeDown is supposed to come
+	// with key-range handoff.
+	NodeLeave
+	// Partition makes the target unreachable for For: new connections
+	// are refused and established ones stall, but nothing is reset —
+	// the node is healthy, the network is not. Distinguishable from
+	// NodeDown precisely because acknowledged state survives it.
+	Partition
 
 	numKinds
 )
@@ -68,6 +81,9 @@ var kindNames = [numKinds]string{
 	StackFail:    "stack-fail",
 	StackDegrade: "stack-degrade",
 	StackRecover: "stack-recover",
+	NodeJoin:     "node-join",
+	NodeLeave:    "node-leave",
+	Partition:    "partition",
 }
 
 func (k Kind) String() string {

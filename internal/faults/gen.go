@@ -103,7 +103,7 @@ func Generate(cfg GenConfig) (*Plan, error) {
 			continue
 		}
 		switch kind {
-		case NodeDown, StackFail:
+		case NodeDown, StackFail, NodeLeave:
 			down := 0
 			for _, u := range upAt {
 				if u > t {
@@ -117,8 +117,14 @@ func Generate(cfg GenConfig) (*Plan, error) {
 				continue
 			}
 			up := NodeUp
-			if kind == StackFail {
+			switch kind {
+			case StackFail:
 				up = StackRecover
+			case NodeLeave:
+				// Membership churn: a graceful leave paired with a
+				// rejoin, bounded by the same concurrency cap as
+				// outages so a plan never empties the cluster.
+				up = NodeJoin
 			}
 			plan.Events = append(plan.Events,
 				Event{At: t, Kind: kind, Target: target},
@@ -131,12 +137,17 @@ func Generate(cfg GenConfig) (*Plan, error) {
 		case Latency:
 			plan.Events = append(plan.Events,
 				Event{At: t, Kind: Latency, Target: target, For: end - t, Arg: cfg.LatencyNanos})
-		case ReadStall, WriteStall, UDPDrop:
+		case ReadStall, WriteStall, UDPDrop, Partition:
 			plan.Events = append(plan.Events,
 				Event{At: t, Kind: kind, Target: target, For: end - t})
 		case ConnReset:
 			plan.Events = append(plan.Events,
 				Event{At: t, Kind: ConnReset, Target: target})
+		case NodeJoin:
+			// A bare join draw is a scale-out event: instantaneous, no
+			// pairing (consumers treat joining a member as a no-op).
+			plan.Events = append(plan.Events,
+				Event{At: t, Kind: NodeJoin, Target: target})
 		}
 	}
 	sortEvents(plan.Events)

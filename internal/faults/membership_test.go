@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"kv3d/internal/sim"
+)
+
+// TestMembershipKindsRoundTrip pins the canonical encoding of the
+// membership kinds (node-join, node-leave, partition): a hand-built
+// plan survives Encode -> Parse -> Encode byte-identically, and the
+// rendered lines use the documented names. The kinds were appended
+// after StackRecover precisely so existing golden encodings stay
+// untouched; this test guards the new tail of the enum.
+func TestMembershipKindsRoundTrip(t *testing.T) {
+	p := &Plan{Horizon: sim.Second, Events: []Event{
+		{At: 10 * sim.Millisecond, Kind: NodeJoin, Target: "stack-09"},
+		{At: 20 * sim.Millisecond, Kind: NodeLeave, Target: "stack-02"},
+		{At: 30 * sim.Millisecond, Kind: Partition, Target: "stack-05", For: 40 * sim.Millisecond},
+	}}
+	enc := p.Encode()
+	for _, want := range []string{"node-join stack-09", "node-leave stack-02", "partition stack-05"} {
+		if !bytes.Contains(enc, []byte(want)) {
+			t.Fatalf("encoding missing %q:\n%s", want, enc)
+		}
+	}
+	back, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, back.Encode()) {
+		t.Fatalf("round trip lost information:\n%s\nvs\n%s", enc, back.Encode())
+	}
+	if back.Events[2].For != 40*sim.Millisecond {
+		t.Fatalf("partition window lost: %v", back.Events[2].For)
+	}
+}
+
+// TestGenerateMembershipChurn checks the generator's membership
+// semantics: every NodeLeave is paired with a later NodeJoin of the
+// same target (graceful leave + rejoin), partitions carry a window,
+// and leaves respect the MaxConcurrentDown cap so a churny plan never
+// empties the cluster.
+func TestGenerateMembershipChurn(t *testing.T) {
+	cfg := GenConfig{
+		Seed:              7,
+		Targets:           []string{"a", "b", "c", "d"},
+		Horizon:           800 * sim.Millisecond,
+		Kinds:             []Kind{NodeLeave, NodeJoin, Partition},
+		MaxConcurrentDown: 2,
+	}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) == 0 {
+		t.Fatal("generated an empty plan")
+	}
+	// Walk the schedule counting members out of the cluster.
+	out := map[string]sim.Duration{} // target -> rejoin time
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case NodeLeave:
+			for tgt, until := range out {
+				if until <= ev.At {
+					delete(out, tgt)
+				}
+			}
+			if _, gone := out[ev.Target]; gone {
+				t.Fatalf("NodeLeave at %v strikes already-left target %s", ev.At, ev.Target)
+			}
+			// Find the paired rejoin.
+			rejoin := sim.Duration(-1)
+			for _, later := range p.Events {
+				if later.Kind == NodeJoin && later.Target == ev.Target && later.At >= ev.At {
+					rejoin = later.At
+					break
+				}
+			}
+			if rejoin < 0 {
+				t.Fatalf("NodeLeave of %s at %v has no paired NodeJoin", ev.Target, ev.At)
+			}
+			out[ev.Target] = rejoin
+			gone := 0
+			for _, until := range out {
+				if until > ev.At {
+					gone++
+				}
+			}
+			if gone > cfg.MaxConcurrentDown {
+				t.Fatalf("%d members out at %v, cap %d", gone, ev.At, cfg.MaxConcurrentDown)
+			}
+		case Partition:
+			if ev.For <= 0 {
+				t.Fatalf("partition at %v has no window", ev.At)
+			}
+			if ev.At+ev.For > p.Horizon {
+				t.Fatalf("partition window [%v, %v] exceeds horizon %v", ev.At, ev.At+ev.For, p.Horizon)
+			}
+		}
+	}
+	// Determinism: same config, byte-identical plan.
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Encode(), again.Encode()) {
+		t.Fatal("membership plan generation is not deterministic")
+	}
+}

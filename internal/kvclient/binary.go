@@ -112,12 +112,19 @@ func (b *BinaryClient) flush() error {
 
 // writeRequest buffers one request frame and returns its opaque.
 func (b *BinaryClient) writeRequest(opcode byte, key string, extras, value []byte, cas uint64) uint32 {
+	return b.writeRequestVbucket(opcode, key, extras, value, cas, 0)
+}
+
+// writeRequestVbucket is writeRequest with an explicit vbucket field —
+// the carrier of the per-op replication mode (see protocol.ReplMode).
+func (b *BinaryClient) writeRequestVbucket(opcode byte, key string, extras, value []byte, cas uint64, vbucket uint16) uint32 {
 	opaque := b.takeOpaque()
 	var hdr [24]byte
 	hdr[0] = protocol.MagicRequest
 	hdr[1] = opcode
 	binary.BigEndian.PutUint16(hdr[2:], uint16(len(key)))
 	hdr[4] = byte(len(extras))
+	binary.BigEndian.PutUint16(hdr[6:], vbucket)
 	binary.BigEndian.PutUint32(hdr[8:], uint32(len(extras)+len(key)+len(value)))
 	binary.BigEndian.PutUint32(hdr[12:], opaque)
 	binary.BigEndian.PutUint64(hdr[16:], cas)
@@ -185,6 +192,8 @@ func statusErr(status uint16, value []byte) error {
 		return ErrNotStored
 	case protocol.StatusBusy:
 		return ErrBusy
+	case protocol.StatusNoQuorum:
+		return ErrNoQuorum
 	case protocol.StatusInvalidArgs, protocol.StatusValueTooLarge, protocol.StatusNonNumeric:
 		return fmt.Errorf("%w: status 0x%04x %s", ErrClient, status, value)
 	case protocol.StatusUnknownCommand:
@@ -278,12 +287,22 @@ func (b *BinaryClient) GetMulti(keys []string) (map[string]Item, error) {
 	return out, nil
 }
 
-// Set stores a value unconditionally.
+// Set stores a value unconditionally with the server's default
+// replication mode.
 func (b *BinaryClient) Set(key string, value []byte, flags uint32, exptime int64) error {
+	return b.SetWithMode(key, value, flags, exptime, protocol.ReplDefault)
+}
+
+// SetWithMode stores a value with an explicit per-op replication mode,
+// carried in the request's vbucket field. ReplQuorum returns
+// ErrNoQuorum when the server stored locally but could not gather
+// majority replica acknowledgement — the write is unacknowledged and
+// safe to retry.
+func (b *BinaryClient) SetWithMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error {
 	var extras [8]byte
 	binary.BigEndian.PutUint32(extras[:], flags)
 	binary.BigEndian.PutUint32(extras[4:], uint32(exptime))
-	opaque := b.writeRequest(protocol.OpSet, key, extras[:], value, 0)
+	opaque := b.writeRequestVbucket(protocol.OpSet, key, extras[:], value, 0, uint16(mode))
 	resp, err := b.roundTrip(opaque)
 	if err != nil {
 		return err
@@ -291,9 +310,15 @@ func (b *BinaryClient) Set(key string, value []byte, flags uint32, exptime int64
 	return statusErr(resp.status, resp.value)
 }
 
-// Delete removes a key.
+// Delete removes a key with the server's default replication mode.
 func (b *BinaryClient) Delete(key string) error {
-	opaque := b.writeRequest(protocol.OpDelete, key, nil, nil, 0)
+	return b.DeleteWithMode(key, protocol.ReplDefault)
+}
+
+// DeleteWithMode removes a key with an explicit per-op replication
+// mode, as on SetWithMode.
+func (b *BinaryClient) DeleteWithMode(key string, mode protocol.ReplMode) error {
+	opaque := b.writeRequestVbucket(protocol.OpDelete, key, nil, nil, 0, uint16(mode))
 	resp, err := b.roundTrip(opaque)
 	if err != nil {
 		return err

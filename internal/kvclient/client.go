@@ -31,6 +31,12 @@ var (
 // as evidence the node is down.
 var ErrBusy = fmt.Errorf("%w: busy", ErrServer)
 
+// ErrNoQuorum is a quorum write that stored on the primary but could
+// not gather majority replica acknowledgement in time. The write is not
+// rolled back; the op is unacknowledged and safe to retry (a set is
+// idempotent). Wraps ErrServer so existing checks still match.
+var ErrNoQuorum = fmt.Errorf("%w: no quorum", ErrServer)
+
 // Options tunes a Client beyond the bare connection.
 type Options struct {
 	// DialTimeout bounds connection establishment (default 5s).

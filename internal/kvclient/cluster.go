@@ -38,6 +38,7 @@ type ClusterClient struct {
 	ejectAfter int
 	probation  time.Duration
 	fanout     int
+	readRepair bool
 
 	sleep  func(time.Duration)
 	jitter func() float64
@@ -127,8 +128,17 @@ type ClusterConfig struct {
 	// anyway, so the bound only limits cross-node parallelism.
 	MultigetFanout int
 
+	// ReadRepair makes Get read every replica instead of stopping at the
+	// first hit: the lowest-ranked replica that answered is authoritative,
+	// and replicas that answered with a miss or a divergent value are
+	// rewritten with the authoritative item before Get returns (counted in
+	// kvclient.read_repairs). Costs R reads per Get; only meaningful with
+	// Replicas > 1.
+	ReadRepair bool
+
 	// Probes optionally receives kvclient.* counters (retries,
-	// transport_errors, busy, ejections, readmissions, failovers).
+	// transport_errors, busy, ejections, readmissions, failovers,
+	// read_repairs, quorum_failures).
 	Probes *obs.Registry
 
 	// Binary selects the memcached binary protocol for node connections.
@@ -193,6 +203,7 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		ejectAfter: cfg.EjectAfter,
 		probation:  cfg.Probation,
 		fanout:     cfg.MultigetFanout,
+		readRepair: cfg.ReadRepair,
 		sleep:      cfg.Sleep,
 		jitter:     cfg.Jitter,
 		probes:     cfg.Probes,
@@ -218,6 +229,7 @@ func NewCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		for _, name := range []string{
 			"kvclient.retries", "kvclient.transport_errors", "kvclient.busy",
 			"kvclient.ejections", "kvclient.readmissions", "kvclient.failovers",
+			"kvclient.read_repairs", "kvclient.quorum_failures",
 		} {
 			c.probes.Counter(name)
 		}
@@ -279,6 +291,12 @@ func (c *ClusterClient) RemoveNode(addr string) {
 
 // Nodes lists the current ring members.
 func (c *ClusterClient) Nodes() []string { return c.ring.Nodes() }
+
+// Owners reports key's current replica set in ring preference order
+// (rank 0 is the primary). The answer is a snapshot: ejections and
+// membership changes move keys, which is why the op paths re-resolve
+// rather than cache it.
+func (c *ClusterClient) Owners(key string) ([]string, error) { return c.ownersFor(key) }
 
 // node returns the state for addr, creating it if the node was added
 // behind our back.
@@ -487,6 +505,9 @@ func (c *ClusterClient) getOnce(key string) (Item, error) {
 	if err != nil {
 		return Item{}, err
 	}
+	if c.readRepair && len(owners) > 1 {
+		return c.getRepair(key, owners)
+	}
 	lastErr := error(ErrNotFound)
 	for i, addr := range owners {
 		var it Item
@@ -546,44 +567,73 @@ func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
 		return results, nil
 	}
 
-	// Freeze each key's replica set up front. Ejections during the
-	// scatter would otherwise reshuffle ring ranks mid-flight and make a
-	// key skip the replica that actually holds it. An empty ring is
-	// retried like any other transient failure.
-	owners := make(map[string][]string, len(unique))
-	if err := c.withRetry(func() error {
-		c.maybeReadmit()
-		for _, k := range unique {
-			o, err := c.ownersFor(k)
-			if err != nil {
-				return err
-			}
-			owners[k] = o
-		}
-		return nil
-	}); err != nil {
-		return results, err
-	}
-
+	// Each key's replica set is re-resolved at the start of every
+	// failover round rather than frozen up front: an ejection during the
+	// scatter reshuffles ring ranks, and a frozen list would keep
+	// pointing a key at dead nodes while the live replica that actually
+	// holds it — promoted to primary by the very ejection — is never
+	// consulted. Per-key tried sets keep rounds from revisiting a node
+	// that already failed or answered for that key, so the walk still
+	// terminates even as the resolved lists shift underneath it.
 	var (
 		resMu   sync.Mutex // guards results
 		nextMu  sync.Mutex // guards next and lastErr
+		tried   = make(map[string]map[string]struct{}, len(unique))
 		pending = unique
+		dead    []string // keys with no untried replica left
 		lastErr error
+		round   int
 	)
-	for rank := 0; len(pending) > 0; rank++ {
-		// Group this round's keys by their rank-th replica; keys that
-		// have run out of replicas stay in pending and fall out below.
+	for len(pending) > 0 {
+		// Wait out an empty ring like any other transient failure
+		// (readmission may refill it), then resolve this round's
+		// placement.
 		groups := make(map[string][]string)
-		for _, k := range pending {
-			if o := owners[k]; rank < len(o) {
-				groups[o[rank]] = append(groups[o[rank]], k)
+		if err := c.withRetry(func() error {
+			c.maybeReadmit()
+			if c.ring.Len() == 0 {
+				return ErrNoNodes
 			}
+			return nil
+		}); err != nil {
+			dead = append(dead, pending...)
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		var next []string
+		for _, k := range pending {
+			owners, err := c.ownersFor(k)
+			if err != nil {
+				// Ring emptied between the retry above and here; the key
+				// is out of options this pass.
+				dead = append(dead, k)
+				if lastErr == nil {
+					lastErr = err
+				}
+				continue
+			}
+			addr := ""
+			for _, o := range owners {
+				if _, done := tried[k][o]; !done {
+					addr = o
+					break
+				}
+			}
+			if addr == "" {
+				dead = append(dead, k)
+				continue
+			}
+			if tried[k] == nil {
+				tried[k] = make(map[string]struct{}, c.replicas)
+			}
+			tried[k][addr] = struct{}{}
+			groups[addr] = append(groups[addr], k)
 		}
 		if len(groups) == 0 {
 			break
 		}
-		var next []string
 		sem := make(chan struct{}, c.fanout)
 		var wg sync.WaitGroup
 		for addr, group := range groups {
@@ -616,7 +666,7 @@ func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
 						results[k] = it
 					}
 					resMu.Unlock()
-					if rank > 0 {
+					if round > 0 {
 						c.countN("kvclient.failovers", len(group))
 						c.flight.instant("failover")
 					}
@@ -630,8 +680,9 @@ func (c *ClusterClient) GetMulti(keys []string) (map[string]Item, error) {
 		}
 		wg.Wait()
 		pending = next
+		round++
 	}
-	if n := len(pending); n > 0 {
+	if n := len(pending) + len(dead); n > 0 {
 		if lastErr == nil {
 			lastErr = ErrNoNodes
 		}

@@ -1,0 +1,172 @@
+package kvclient
+
+import (
+	"bytes"
+	"errors"
+
+	"kv3d/internal/protocol"
+)
+
+// Replication-aware cluster operations: per-op consistency modes
+// (async fire-and-forget vs quorum ack, carried in the binary
+// protocol's vbucket field) and read-repair across divergent replicas.
+
+// ModeConn is the optional per-node surface for mode-carrying writes;
+// only the BinaryClient satisfies it (the ASCII protocol has no field
+// to carry a mode, so ASCII clusters always get the server default).
+type ModeConn interface {
+	SetWithMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error
+	DeleteWithMode(key string, mode protocol.ReplMode) error
+}
+
+// ErrModeNeedsBinary reports a per-op replication mode requested on an
+// ASCII cluster (set ClusterConfig.Binary).
+var ErrModeNeedsBinary = errors.New("kvclient: per-op replication modes require a binary-protocol cluster")
+
+// SetMode writes a key through its primary owner with an explicit
+// replication mode; the owning server fans the write out to its
+// replicas (asynchronously for ReplAsync, synchronously for
+// ReplQuorum). Unlike Set — which writes every replica from the client
+// — SetMode sends one frame and lets the server own replication, so
+// replica sets tracked by server membership stay authoritative.
+//
+// Transport failures fail over to the next ring rank (any owner can
+// accept the write and fan out). ErrNoQuorum means the primary stored
+// the value locally but could not gather a quorum of replica acks: the
+// write is durable on at least one node and retry-safe, but not
+// quorum-acknowledged.
+func (c *ClusterClient) SetMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error {
+	return c.withRetry(func() error {
+		return c.modeWriteOnce(key, "store", func(mc ModeConn) error {
+			return mc.SetWithMode(key, value, flags, exptime, mode)
+		})
+	})
+}
+
+// DeleteMode removes a key through its primary owner with an explicit
+// replication mode, as on SetMode. ErrNotFound is authoritative from
+// the first owner that answers.
+func (c *ClusterClient) DeleteMode(key string, mode protocol.ReplMode) error {
+	return c.withRetry(func() error {
+		return c.modeWriteOnce(key, "delete", func(mc ModeConn) error {
+			return mc.DeleteWithMode(key, mode)
+		})
+	})
+}
+
+// modeWriteOnce runs one mode-carrying write against the key's owners
+// in ring order, failing over on transport errors only: any other
+// answer (stored, not-found, no-quorum, busy) is the authoritative
+// outcome of this attempt.
+func (c *ClusterClient) modeWriteOnce(key, opName string, fn func(ModeConn) error) error {
+	c.maybeReadmit()
+	owners, err := c.ownersFor(key)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for i, addr := range owners {
+		err := c.observedOp(addr, opName, func(conn NodeConn) error {
+			mc, ok := conn.(ModeConn)
+			if !ok {
+				return ErrModeNeedsBinary
+			}
+			return fn(mc)
+		})
+		if isTransport(err) {
+			c.recordFailure(addr)
+			lastErr = err
+			continue
+		}
+		// The node answered; its verdict stands.
+		c.recordSuccess(addr)
+		if i > 0 {
+			c.count("kvclient.failovers")
+			c.flight.instant("failover")
+		}
+		switch {
+		case errors.Is(err, ErrNoQuorum):
+			c.count("kvclient.quorum_failures")
+			c.flight.instant("quorum.fail")
+		case errors.Is(err, ErrBusy):
+			c.count("kvclient.busy")
+		}
+		return err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return lastErr
+}
+
+// getRepair reads every replica of key, takes the lowest-ranked hit as
+// authoritative, and rewrites replicas that answered with a miss or a
+// divergent value. Replicas that failed at the transport level are
+// left alone (they are unreachable, not divergent — the breaker deals
+// with them) and repairs are best-effort: a failed repair write does
+// not fail the read.
+func (c *ClusterClient) getRepair(key string, owners []string) (Item, error) {
+	type reply struct {
+		addr string
+		it   Item
+		miss bool
+	}
+	replies := make([]reply, 0, len(owners))
+	lastErr := error(ErrNotFound)
+	for _, addr := range owners {
+		var it Item
+		err := c.observedOp(addr, "get", func(conn NodeConn) error {
+			var e error
+			it, e = conn.Get(key)
+			return e
+		})
+		switch {
+		case err == nil:
+			c.recordSuccess(addr)
+			replies = append(replies, reply{addr: addr, it: it})
+		case errors.Is(err, ErrNotFound):
+			c.recordSuccess(addr)
+			replies = append(replies, reply{addr: addr, miss: true})
+		case isTransport(err):
+			c.recordFailure(addr)
+			lastErr = err
+		default:
+			if errors.Is(err, ErrBusy) {
+				c.count("kvclient.busy")
+			}
+			lastErr = err
+		}
+	}
+	// Lowest-ranked hit wins: ring order is the write preference order,
+	// so rank 0 saw the newest successful write first.
+	auth := -1
+	for i, r := range replies {
+		if !r.miss {
+			auth = i
+			break
+		}
+	}
+	if auth < 0 {
+		// Every reachable replica missed (or none was reachable).
+		if len(replies) > 0 {
+			return Item{}, ErrNotFound
+		}
+		return Item{}, lastErr
+	}
+	it := replies[auth].it
+	for i, r := range replies {
+		if i == auth || (!r.miss && bytes.Equal(r.it.Value, it.Value) && r.it.Flags == it.Flags) {
+			continue
+		}
+		rerr := c.observedOp(r.addr, "store", func(conn NodeConn) error {
+			return conn.Set(key, it.Value, it.Flags, 0)
+		})
+		if rerr == nil {
+			c.count("kvclient.read_repairs")
+			c.flight.instant("read.repair")
+		} else if isTransport(rerr) {
+			c.recordFailure(r.addr)
+		}
+	}
+	return it, nil
+}

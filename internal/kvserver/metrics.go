@@ -208,6 +208,12 @@ func (s *Server) Probes() []obs.Probe {
 	}
 	probes = append(probes, s.ops.Probes()...)
 	probes = append(probes, s.Telemetry().Probes()...)
+	if rp, ok := s.opts.Repl.(*Replicator); ok && rp != nil {
+		probes = append(probes, rp.Probes()...)
+	}
+	if s.opts.Migrator != nil {
+		probes = append(probes, s.opts.Migrator.Probes()...)
+	}
 	sort.Slice(probes, func(i, j int) bool { return probes[i].Name < probes[j].Name })
 	return probes
 }

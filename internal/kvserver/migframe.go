@@ -1,0 +1,135 @@
+package kvserver
+
+// Migration chunk framing. A key-range handoff streams the moving keys
+// to their new owner as chunks of pipelined binary-protocol frames: one
+// quiet Add (OpAddQ) per key followed by a Noop barrier. The receiver
+// is any stock kv3d server — migration needs no new opcode:
+//
+//   - Add, not Set: if the target already holds a newer value for the
+//     key (a client wrote it there after ownership moved), migration
+//     must not clobber it. The already-exists error a lost race
+//     produces is counted and skipped, not retried.
+//   - Quiet: successes are silent, so a chunk costs one response round
+//     trip (the barrier) plus one frame per *failed* key.
+//   - The vbucket field carries protocol.ReplLocal, so a replicating
+//     target does not re-fan-out migrated keys.
+//
+// The encoder and decoder are strict inverses; FuzzMigChunk holds the
+// decoder to "never panic, and re-encode what you decoded byte-
+// identically".
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kv3d/internal/protocol"
+)
+
+// MigEntry is one key-value pair in a migration chunk.
+type MigEntry struct {
+	Key     string
+	Value   []byte
+	Flags   uint32
+	Exptime int64
+}
+
+const migHeaderLen = 24
+
+// maxMigValue bounds a decoded entry's value so a corrupt length field
+// cannot demand an absurd allocation.
+const maxMigValue = 64 << 20
+
+// AppendChunk appends one migration chunk to dst and returns it: an
+// OpAddQ frame per entry, then an OpNoop barrier carrying
+// barrierOpaque. Entry frames carry their index as opaque so error
+// responses identify the failing key.
+func AppendChunk(dst []byte, entries []MigEntry, barrierOpaque uint32) []byte {
+	var hdr [migHeaderLen]byte
+	for i, e := range entries {
+		var extras [8]byte
+		binary.BigEndian.PutUint32(extras[:], e.Flags)
+		binary.BigEndian.PutUint32(extras[4:], uint32(e.Exptime))
+		hdr = [migHeaderLen]byte{}
+		hdr[0] = protocol.MagicRequest
+		hdr[1] = protocol.OpAddQ
+		binary.BigEndian.PutUint16(hdr[2:], uint16(len(e.Key)))
+		hdr[4] = byte(len(extras))
+		binary.BigEndian.PutUint16(hdr[6:], uint16(protocol.ReplLocal))
+		binary.BigEndian.PutUint32(hdr[8:], uint32(len(extras)+len(e.Key)+len(e.Value)))
+		binary.BigEndian.PutUint32(hdr[12:], uint32(i))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, extras[:]...)
+		dst = append(dst, e.Key...)
+		dst = append(dst, e.Value...)
+	}
+	hdr = [migHeaderLen]byte{}
+	hdr[0] = protocol.MagicRequest
+	hdr[1] = protocol.OpNoop
+	binary.BigEndian.PutUint32(hdr[12:], barrierOpaque)
+	return append(dst, hdr[:]...)
+}
+
+// DecodeChunk parses one chunk produced by AppendChunk, returning its
+// entries and the barrier opaque. It rejects anything AppendChunk could
+// not have produced: wrong magic or opcode, missing extras, trailing
+// bytes after the barrier, or a chunk with no barrier.
+func DecodeChunk(data []byte) ([]MigEntry, uint32, error) {
+	var entries []MigEntry
+	for {
+		if len(data) < migHeaderLen {
+			return nil, 0, fmt.Errorf("kvserver: truncated migration chunk (%d bytes left, no barrier)", len(data))
+		}
+		if data[0] != protocol.MagicRequest {
+			return nil, 0, fmt.Errorf("kvserver: bad migration frame magic %#02x", data[0])
+		}
+		opcode := data[1]
+		keyLen := int(binary.BigEndian.Uint16(data[2:]))
+		extrasLen := int(data[4])
+		vbucket := binary.BigEndian.Uint16(data[6:])
+		bodyLen := int(binary.BigEndian.Uint32(data[8:]))
+		opaque := binary.BigEndian.Uint32(data[12:])
+		// The cas field is always zero in chunks AppendChunk builds; a
+		// nonzero one means this is not a migration chunk (and would
+		// break the decode/re-encode identity the fuzz target pins).
+		if cas := binary.BigEndian.Uint64(data[16:]); cas != 0 {
+			return nil, 0, fmt.Errorf("kvserver: migration frame with nonzero cas %d", cas)
+		}
+		if opcode == protocol.OpNoop {
+			if keyLen != 0 || extrasLen != 0 || bodyLen != 0 || vbucket != 0 {
+				return nil, 0, fmt.Errorf("kvserver: migration barrier with a body")
+			}
+			if len(data) != migHeaderLen {
+				return nil, 0, fmt.Errorf("kvserver: %d trailing bytes after migration barrier", len(data)-migHeaderLen)
+			}
+			return entries, opaque, nil
+		}
+		if opcode != protocol.OpAddQ {
+			return nil, 0, fmt.Errorf("kvserver: unexpected opcode %#02x in migration chunk", opcode)
+		}
+		if extrasLen != 8 {
+			return nil, 0, fmt.Errorf("kvserver: migration entry with %d extras bytes, want 8", extrasLen)
+		}
+		if vbucket != uint16(protocol.ReplLocal) {
+			return nil, 0, fmt.Errorf("kvserver: migration entry vbucket %d, want %d (ReplLocal)", vbucket, protocol.ReplLocal)
+		}
+		valueLen := bodyLen - extrasLen - keyLen
+		if valueLen < 0 || valueLen > maxMigValue {
+			return nil, 0, fmt.Errorf("kvserver: migration entry value length %d out of range", valueLen)
+		}
+		if opaque != uint32(len(entries)) {
+			return nil, 0, fmt.Errorf("kvserver: migration entry opaque %d, want index %d", opaque, len(entries))
+		}
+		total := migHeaderLen + bodyLen
+		if len(data) < total {
+			return nil, 0, fmt.Errorf("kvserver: truncated migration entry body (%d of %d bytes)", len(data)-migHeaderLen, bodyLen)
+		}
+		body := data[migHeaderLen:total]
+		entries = append(entries, MigEntry{
+			Flags:   binary.BigEndian.Uint32(body),
+			Exptime: int64(int32(binary.BigEndian.Uint32(body[4:]))),
+			Key:     string(body[extrasLen : extrasLen+keyLen]),
+			Value:   append([]byte(nil), body[extrasLen+keyLen:]...),
+		})
+		data = data[total:]
+	}
+}

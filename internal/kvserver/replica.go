@@ -1,0 +1,447 @@
+package kvserver
+
+// Replica write fan-out: the server-side half of the cluster layer.
+// Every successful local mutation arrives here from the protocol
+// sessions (see protocol.Replicator) and is propagated to the key's
+// replica set, looked up in the versioned cluster membership at send
+// time — so fan-out follows joins and leaves without reconfiguration.
+//
+// Two consistency modes, chosen per op by the client (binary vbucket
+// flag) or by the server default:
+//
+//   - async: the op acknowledges after the local store; replica frames
+//     are queued to per-peer workers and sent in the background. A full
+//     queue drops the frame (counted live.repl.async.dropped) — bounded
+//     staleness, never unbounded memory.
+//   - quorum: the op acknowledges only after ceil((R+1)/2) members of
+//     the key's R-sized replica set (the local store counts when this
+//     node is an owner) applied the write, or fails with a no-quorum
+//     error after QuorumTimeout.
+//
+// Replica frames are tagged protocol.ReplLocal, so a receiving server
+// applies them locally and never re-replicates: fan-out cannot loop.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kv3d/internal/cluster"
+	"kv3d/internal/obs"
+	"kv3d/internal/protocol"
+	"kv3d/internal/sim"
+)
+
+// ErrNoQuorum reports a quorum write that could not gather majority
+// acknowledgement before QuorumTimeout. The local store stands; the op
+// is unacknowledged and safe to retry.
+var ErrNoQuorum = errors.New("kvserver: no quorum")
+
+// ReplConn is the per-peer connection a worker replicates over —
+// typically a thin adapter over kvclient.BinaryClient (kvserver cannot
+// import kvclient itself), replaced by fakes in tests. Implementations
+// should treat DeleteWithMode of an absent key as success: the
+// replica never had it, so the delete's goal holds.
+type ReplConn interface {
+	SetWithMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error
+	DeleteWithMode(key string, mode protocol.ReplMode) error
+	Close() error
+}
+
+// ReplOptions configure a Replicator.
+type ReplOptions struct {
+	// Self is this node's name in the membership (its serving address);
+	// it is skipped during fan-out and counts as one quorum vote when it
+	// owns the key.
+	Self string
+	// Membership resolves each key's replica set at send time.
+	Membership *cluster.Membership
+	// Replicas is the replica-set size R (minimum 1; 1 means no
+	// remote copies and quorum writes succeed locally).
+	Replicas int
+	// DefaultMode resolves protocol.ReplDefault: the mode for clients
+	// that did not choose one. ReplDefault/ReplLocal here mean async
+	// (the server always has *some* propagation once a Replicator is
+	// installed).
+	DefaultMode protocol.ReplMode
+	// QueueDepth bounds each peer's job queue (default 256).
+	QueueDepth int
+	// QuorumTimeout bounds how long a quorum write waits for acks
+	// (default 2s).
+	QuorumTimeout time.Duration
+	// Dial opens a connection to a peer (required — usually an adapter
+	// over kvclient.DialBinaryOptions; see cmd/kv3d-server).
+	Dial func(addr string) (ReplConn, error)
+	// Flight, when set, records replication lifecycle instants.
+	Flight *obs.FlightRecorder
+	// NowNanos timestamps flight instants (required with Flight).
+	NowNanos func() sim.Ns
+}
+
+func (o ReplOptions) withDefaults() ReplOptions {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.QuorumTimeout <= 0 {
+		o.QuorumTimeout = 2 * time.Second
+	}
+	if o.DefaultMode != protocol.ReplQuorum && o.DefaultMode != protocol.ReplAsync {
+		o.DefaultMode = protocol.ReplAsync
+	}
+	return o
+}
+
+// replJob is one queued replica mutation. value is owned by the job
+// (copied out of the session's frame buffer before enqueue).
+type replJob struct {
+	key     string
+	value   []byte
+	flags   uint32
+	exptime int64
+	del     bool
+	// ack, when non-nil, receives the send outcome (quorum writes);
+	// buffered so a worker never blocks on a departed waiter.
+	ack chan error
+}
+
+// peer is one remote member's replication lane: a bounded queue drained
+// by a dedicated worker goroutine owning one lazily-dialed connection.
+type peer struct {
+	addr string
+	q    chan replJob
+}
+
+// Replicator fans successful local writes out to replica peers. It
+// implements protocol.Replicator and is safe for concurrent use by all
+// connection goroutines.
+type Replicator struct {
+	opts ReplOptions
+
+	mu     sync.Mutex
+	peers  map[string]*peer //kv3d:guardedby mu
+	closed bool             //kv3d:guardedby mu
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// live.repl.* counters, exported through Probes.
+	asyncQueued  atomic.Uint64
+	asyncSent    atomic.Uint64
+	asyncErrors  atomic.Uint64
+	asyncDropped atomic.Uint64
+	quorumOK     atomic.Uint64
+	quorumFailed atomic.Uint64
+	quorumAcks   atomic.Uint64
+
+	flightTrack obs.TrackID
+}
+
+// NewReplicator builds a replicator over the given membership.
+func NewReplicator(opts ReplOptions) (*Replicator, error) {
+	if opts.Membership == nil {
+		return nil, fmt.Errorf("kvserver: replicator needs a membership")
+	}
+	if opts.Dial == nil {
+		return nil, fmt.Errorf("kvserver: replicator needs a dialer")
+	}
+	opts = opts.withDefaults()
+	r := &Replicator{
+		opts:  opts,
+		peers: make(map[string]*peer),
+		done:  make(chan struct{}),
+	}
+	if opts.Flight.Enabled() {
+		r.flightTrack = opts.Flight.RegisterTrack("replication")
+	}
+	return r, nil
+}
+
+// quorum is the majority threshold for a replica set of size n.
+func quorum(n int) int { return n/2 + 1 }
+
+// resolve maps a wire-carried mode onto a concrete action mode.
+func (r *Replicator) resolve(mode protocol.ReplMode) protocol.ReplMode {
+	if mode == protocol.ReplDefault || mode == protocol.ReplLocal {
+		return r.opts.DefaultMode
+	}
+	return mode
+}
+
+// owners returns the key's replica set and whether this node is in it.
+func (r *Replicator) owners(key string) (remote []string, selfOwns bool) {
+	owners, err := r.opts.Membership.LocateN(key, r.opts.Replicas)
+	if err != nil {
+		return nil, false // empty membership: nothing to fan out to
+	}
+	for _, o := range owners {
+		if o == r.opts.Self {
+			selfOwns = true
+			continue
+		}
+		remote = append(remote, o)
+	}
+	return remote, selfOwns
+}
+
+// ReplicateSet propagates one stored value. Implements
+// protocol.Replicator; value is borrowed and copied here.
+func (r *Replicator) ReplicateSet(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error {
+	job := replJob{
+		key:     key,
+		value:   append([]byte(nil), value...),
+		flags:   flags,
+		exptime: exptime,
+	}
+	return r.replicate(job, mode)
+}
+
+// ReplicateDelete propagates one delete. Implements protocol.Replicator.
+func (r *Replicator) ReplicateDelete(key string, mode protocol.ReplMode) error {
+	return r.replicate(replJob{key: key, del: true}, mode)
+}
+
+func (r *Replicator) replicate(job replJob, mode protocol.ReplMode) error {
+	remote, selfOwns := r.owners(job.key)
+	switch r.resolve(mode) {
+	case protocol.ReplQuorum:
+		return r.quorumFanout(job, remote, selfOwns)
+	default:
+		r.asyncFanout(job, remote)
+		return nil
+	}
+}
+
+// asyncFanout enqueues the job to every remote owner, dropping (and
+// counting) when a peer's queue is full.
+func (r *Replicator) asyncFanout(job replJob, remote []string) {
+	for _, addr := range remote {
+		p := r.peer(addr)
+		if p == nil {
+			r.asyncDropped.Add(1)
+			continue
+		}
+		select {
+		case p.q <- job:
+			r.asyncQueued.Add(1)
+		default:
+			r.asyncDropped.Add(1)
+		}
+	}
+}
+
+// quorumFanout enqueues ack-carrying jobs and waits for majority.
+func (r *Replicator) quorumFanout(job replJob, remote []string, selfOwns bool) error {
+	// Majority over the full replica set: remote owners plus this node
+	// when it owns the key. A key the node does not own still counts
+	// only its remote owners' acks.
+	setSize := len(remote)
+	votes := 0
+	if selfOwns {
+		setSize++
+		votes++ // the local store already succeeded
+	}
+	if setSize == 0 {
+		// Single-node membership where self is the only conceivable
+		// owner: the local store is the whole replica set.
+		return nil
+	}
+	needed := quorum(setSize)
+	if votes >= needed {
+		return nil
+	}
+	ack := make(chan error, len(remote))
+	job.ack = ack //nolint:kv3d -- job is a value not yet shared; the channel send below publishes it (happens-before)
+	inflight := 0
+	for _, addr := range remote {
+		p := r.peer(addr)
+		if p == nil {
+			continue
+		}
+		select {
+		case p.q <- job:
+			inflight++
+		default:
+			// Full queue = an immediate failed vote, not a silent drop:
+			// the client asked for acknowledged replication.
+		}
+	}
+	if votes+inflight < needed {
+		r.quorumFailed.Add(1)
+		r.flightInstant("repl.quorum.fail")
+		return fmt.Errorf("%w: %d of %d acks reachable", ErrNoQuorum, votes+inflight, needed)
+	}
+	deadline := time.NewTimer(r.opts.QuorumTimeout)
+	defer deadline.Stop()
+	for votes < needed {
+		select {
+		case err := <-ack:
+			inflight--
+			if err == nil {
+				votes++
+				r.quorumAcks.Add(1)
+			} else if votes+inflight < needed {
+				r.quorumFailed.Add(1)
+				r.flightInstant("repl.quorum.fail")
+				return fmt.Errorf("%w: %d of %d acks (%v)", ErrNoQuorum, votes, needed, err)
+			}
+		case <-deadline.C:
+			r.quorumFailed.Add(1)
+			r.flightInstant("repl.quorum.fail")
+			return fmt.Errorf("%w: %d of %d acks before timeout", ErrNoQuorum, votes, needed)
+		case <-r.done:
+			return fmt.Errorf("%w: replicator closed", ErrNoQuorum)
+		}
+	}
+	r.quorumOK.Add(1)
+	return nil
+}
+
+// peer returns addr's lane, creating it (and its worker) on first use.
+// Returns nil once the replicator is closed.
+func (r *Replicator) peer(addr string) *peer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	p, ok := r.peers[addr]
+	if !ok {
+		p = &peer{addr: addr, q: make(chan replJob, r.opts.QueueDepth)}
+		r.peers[addr] = p
+		r.wg.Add(1)
+		go r.worker(p)
+	}
+	return p
+}
+
+// worker drains one peer's queue over a lazily-dialed connection. It
+// exits when the replicator closes; a send error tears the connection
+// down so the next job redials (a crashed peer that revives is picked
+// up without external coordination).
+func (r *Replicator) worker(p *peer) {
+	defer r.wg.Done()
+	var conn ReplConn
+	defer func() {
+		if conn != nil {
+			conn.Close() //nolint:kv3d -- worker teardown; the peer link's close error carries no signal
+		}
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		case job := <-p.q:
+			err := r.send(&conn, p.addr, job)
+			if job.ack != nil {
+				job.ack <- err // buffered per fan-out; never blocks
+				if err != nil {
+					r.flightInstant("repl.peer.error")
+				}
+			} else if err != nil {
+				r.asyncErrors.Add(1)
+				r.flightInstant("repl.peer.error")
+			} else {
+				r.asyncSent.Add(1)
+			}
+		}
+	}
+}
+
+// send delivers one job, dialing when no connection is up. Replica
+// frames carry ReplLocal so the receiver never re-replicates.
+func (r *Replicator) send(conn *ReplConn, addr string, job replJob) error {
+	if *conn == nil {
+		c, err := r.opts.Dial(addr)
+		if err != nil {
+			return err
+		}
+		*conn = c
+	}
+	var err error
+	if job.del {
+		err = (*conn).DeleteWithMode(job.key, protocol.ReplLocal)
+	} else {
+		err = (*conn).SetWithMode(job.key, job.value, job.flags, job.exptime, protocol.ReplLocal)
+	}
+	if err != nil {
+		// Drop the connection so the next job redials instead of writing
+		// into a possibly-dead socket. For the rare protocol-level answer
+		// this costs one spurious redial; distinguishing it would need
+		// the kvclient error taxonomy, which kvserver cannot import.
+		(*conn).Close() //nolint:kv3d -- already failing; the close error of a broken peer link carries no signal
+		*conn = nil
+	}
+	return err
+}
+
+func (r *Replicator) flightInstant(name string) {
+	if r.opts.Flight.Enabled() && r.opts.NowNanos != nil {
+		r.opts.Flight.Instant(r.flightTrack, name, r.opts.NowNanos())
+	}
+}
+
+// Close stops every peer worker and waits for them to exit. Queued
+// async jobs not yet sent are dropped (counted).
+func (r *Replicator) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	pending := 0
+	for _, p := range r.peers {
+		pending += len(p.q)
+	}
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+	if pending > 0 {
+		r.asyncDropped.Add(uint64(pending))
+	}
+	return nil
+}
+
+// Drain blocks until every peer queue is empty and acknowledged or the
+// timeout passes — the bounded-staleness knob tests lean on: after
+// Drain, every async write issued before the call is on its replicas.
+func (r *Replicator) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		pending := 0
+		for _, p := range r.peers {
+			pending += len(p.q)
+		}
+		r.mu.Unlock()
+		if pending == 0 {
+			// Queues empty; in-flight sends (at most one per worker)
+			// settle within one op timeout, which the caller's timeout
+			// budget must cover. One final poll tick gives workers time
+			// to finish the job they hold.
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("kvserver: replication drain timed out with %d queued", pending)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Probes exports the live.repl.* counters.
+func (r *Replicator) Probes() []obs.Probe {
+	return []obs.Probe{
+		{Name: "live.repl.async.queued", Value: float64(r.asyncQueued.Load())},
+		{Name: "live.repl.async.sent", Value: float64(r.asyncSent.Load())},
+		{Name: "live.repl.async.errors", Value: float64(r.asyncErrors.Load())},
+		{Name: "live.repl.async.dropped", Value: float64(r.asyncDropped.Load())},
+		{Name: "live.repl.quorum.ok", Value: float64(r.quorumOK.Load())},
+		{Name: "live.repl.quorum.failed", Value: float64(r.quorumFailed.Load())},
+		{Name: "live.repl.quorum.acks", Value: float64(r.quorumAcks.Load())},
+	}
+}

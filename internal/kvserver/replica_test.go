@@ -1,0 +1,341 @@
+package kvserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kv3d/internal/cluster"
+	"kv3d/internal/protocol"
+	"kv3d/internal/testutil"
+)
+
+// fakeReplStore records replica frames per peer, standing in for the
+// remote servers behind a Replicator's dialed connections.
+type fakeReplStore struct {
+	mu      sync.Mutex
+	values  map[string]map[string]string // peer -> key -> value
+	deletes map[string][]string          // peer -> deleted keys
+	fail    map[string]error             // peer -> send error
+	dialErr map[string]error             // peer -> dial error
+	dials   map[string]int
+}
+
+func newFakeReplStore() *fakeReplStore {
+	return &fakeReplStore{
+		values:  map[string]map[string]string{},
+		deletes: map[string][]string{},
+		fail:    map[string]error{},
+		dialErr: map[string]error{},
+		dials:   map[string]int{},
+	}
+}
+
+func (f *fakeReplStore) dial(addr string) (ReplConn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dials[addr]++
+	if err := f.dialErr[addr]; err != nil {
+		return nil, err
+	}
+	return &fakeReplConn{store: f, addr: addr}, nil
+}
+
+func (f *fakeReplStore) get(peer, key string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.values[peer][key]
+	return v, ok
+}
+
+type fakeReplConn struct {
+	store *fakeReplStore
+	addr  string
+}
+
+func (c *fakeReplConn) SetWithMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	if err := c.store.fail[c.addr]; err != nil {
+		return err
+	}
+	if mode != protocol.ReplLocal {
+		return fmt.Errorf("replica frame carried mode %v, want local", mode)
+	}
+	m := c.store.values[c.addr]
+	if m == nil {
+		m = map[string]string{}
+		c.store.values[c.addr] = m
+	}
+	m[key] = string(value)
+	return nil
+}
+
+func (c *fakeReplConn) DeleteWithMode(key string, mode protocol.ReplMode) error {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	if err := c.store.fail[c.addr]; err != nil {
+		return err
+	}
+	if mode != protocol.ReplLocal {
+		return fmt.Errorf("replica frame carried mode %v, want local", mode)
+	}
+	delete(c.store.values[c.addr], key)
+	c.store.deletes[c.addr] = append(c.store.deletes[c.addr], key)
+	return nil
+}
+
+func (c *fakeReplConn) Close() error { return nil }
+
+// threeNodeMembership builds self + two peers.
+func threeNodeMembership(t *testing.T) *cluster.Membership {
+	t.Helper()
+	m := cluster.NewMembership(16)
+	m.Join("self", 1)
+	m.Join("peer-a", 1)
+	m.Join("peer-b", 1)
+	return m
+}
+
+func newTestReplicator(t *testing.T, fake *fakeReplStore, mode protocol.ReplMode) *Replicator {
+	t.Helper()
+	r, err := NewReplicator(ReplOptions{
+		Self:          "self",
+		Membership:    threeNodeMembership(t),
+		Replicas:      2,
+		DefaultMode:   mode,
+		QuorumTimeout: time.Second,
+		Dial:          fake.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// remoteOwners lists a key's owners excluding self.
+func remoteOwners(t *testing.T, m *cluster.Membership, key string, n int) []string {
+	t.Helper()
+	owners, err := m.LocateN(key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, o := range owners {
+		if o != "self" {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func TestReplicatorAsyncFanout(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	r := newTestReplicator(t, fake, protocol.ReplAsync)
+	defer r.Close()
+
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for _, k := range keys {
+		if err := r.ReplicateSet(k, []byte("v-"+k), 1, 0, protocol.ReplDefault); err != nil {
+			t.Fatalf("async replicate %q: %v", k, err)
+		}
+	}
+	if err := r.Drain(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Workers may still be finishing the job they dequeued last; settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, k := range keys {
+		for _, peer := range remoteOwners(t, r.opts.Membership, k, 2) {
+			for {
+				v, ok := fake.get(peer, k)
+				if ok {
+					if v != "v-"+k {
+						t.Fatalf("peer %s key %s = %q", peer, k, v)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("peer %s never received %q", peer, k)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	if got := r.asyncSent.Load(); got == 0 {
+		t.Fatal("async sent counter stayed zero")
+	}
+}
+
+func TestReplicatorQuorumAck(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	r := newTestReplicator(t, fake, protocol.ReplQuorum)
+	defer r.Close()
+
+	if err := r.ReplicateSet("q-key", []byte("qv"), 0, 0, protocol.ReplQuorum); err != nil {
+		t.Fatalf("quorum replicate: %v", err)
+	}
+	if r.quorumOK.Load() != 1 {
+		t.Fatalf("quorum ok = %d", r.quorumOK.Load())
+	}
+	// With R=2 the quorum is 2; whether self owns the key or not, at
+	// least one remote owner must hold the value now (synchronously).
+	remotes := remoteOwners(t, r.opts.Membership, "q-key", 2)
+	found := false
+	for _, peer := range remotes {
+		if v, ok := fake.get(peer, "q-key"); ok && v == "qv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no remote owner of %v holds the value after quorum ack", remotes)
+	}
+
+	if err := r.ReplicateDelete("q-key", protocol.ReplQuorum); err != nil {
+		t.Fatalf("quorum delete: %v", err)
+	}
+	for _, peer := range remotes {
+		if _, ok := fake.get(peer, "q-key"); ok {
+			t.Fatalf("peer %s still holds deleted key", peer)
+		}
+	}
+}
+
+func TestReplicatorQuorumShortfall(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	boom := errors.New("peer down")
+	fake.dialErr["peer-a"] = boom
+	fake.dialErr["peer-b"] = boom
+	r := newTestReplicator(t, fake, protocol.ReplQuorum)
+	defer r.Close()
+
+	err := r.ReplicateSet("q-key", []byte("qv"), 0, 0, protocol.ReplQuorum)
+	if err == nil {
+		t.Fatal("quorum write succeeded with every peer unreachable")
+	}
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+	if r.quorumFailed.Load() != 1 {
+		t.Fatalf("quorum failed counter = %d", r.quorumFailed.Load())
+	}
+}
+
+// TestReplicatorSingleNodeQuorum: with only self in the membership, a
+// quorum write is satisfied by the local store alone.
+func TestReplicatorSingleNodeQuorum(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	m := cluster.NewMembership(16)
+	m.Join("self", 1)
+	r, err := NewReplicator(ReplOptions{
+		Self: "self", Membership: m, Replicas: 2,
+		DefaultMode: protocol.ReplQuorum,
+		Dial: func(string) (ReplConn, error) {
+			return nil, errors.New("must not dial")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ReplicateSet("k", []byte("v"), 0, 0, protocol.ReplQuorum); err != nil {
+		t.Fatalf("single-node quorum: %v", err)
+	}
+}
+
+// TestReplicatorFollowsMembership: fan-out targets are resolved at send
+// time, so a join shifts subsequent writes to the new member.
+func TestReplicatorFollowsMembership(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	m := cluster.NewMembership(16)
+	m.Join("self", 1)
+	m.Join("peer-a", 1)
+	r, err := NewReplicator(ReplOptions{
+		Self: "self", Membership: m, Replicas: 2,
+		DefaultMode: protocol.ReplQuorum, QuorumTimeout: time.Second,
+		Dial: fake.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if err := r.ReplicateSet("k1", []byte("v1"), 0, 0, protocol.ReplQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fake.get("peer-a", "k1"); !ok {
+		t.Fatal("two-node cluster: peer-a must hold k1")
+	}
+
+	m.Join("peer-b", 1)
+	// Find a key peer-b now owns and verify quorum writes reach it.
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("mk-%d", i)
+		owners := remoteOwners(t, m, key, 2)
+		hasB := false
+		for _, o := range owners {
+			hasB = hasB || o == "peer-b"
+		}
+		if !hasB {
+			continue
+		}
+		if err := r.ReplicateSet(key, []byte("vb"), 0, 0, protocol.ReplQuorum); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Drain(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if v, ok := fake.get("peer-b", key); ok && v == "vb" {
+				return // success
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("post-join quorum write to %q never reached peer-b (owners %v)", key, owners)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("no key owned by peer-b found in 2000 tries")
+}
+
+// TestReplicatorCloseJoinsWorkers: Close stops every peer worker even
+// with queued work, and queued-but-unsent jobs are counted dropped.
+func TestReplicatorCloseJoinsWorkers(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	block := make(chan struct{})
+	r, err := NewReplicator(ReplOptions{
+		Self: "self", Membership: threeNodeMembership(t), Replicas: 2,
+		DefaultMode: protocol.ReplAsync, QueueDepth: 4,
+		Dial: func(addr string) (ReplConn, error) {
+			<-block // stall the first dial so jobs pile up
+			return fake.dial(addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.ReplicateSet(fmt.Sprintf("k-%d", i), []byte("v"), 0, 0, protocol.ReplAsync)
+	}
+	close(block)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second close is a no-op.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	queued := r.asyncQueued.Load()
+	dropped := r.asyncDropped.Load()
+	if queued == 0 || dropped == 0 {
+		t.Fatalf("expected both queued (%d) and dropped (%d) with tiny stalled queues", queued, dropped)
+	}
+}

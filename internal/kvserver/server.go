@@ -43,6 +43,15 @@ type Options struct {
 	// FlightEvery samples one op in every FlightEvery per session
 	// (DefaultFlightEvery when <= 0). 1 traces every op.
 	FlightEvery int
+	// Repl, when set, receives every successful local write for replica
+	// fan-out (usually a *Replicator; the interface keeps tests free to
+	// fake it). The server does not own it — the caller Closes it after
+	// the server stops.
+	Repl protocol.Replicator
+	// Migrator, when set, contributes live.migrate.* counters to the
+	// server's probes. Like Repl it is caller-owned: the caller Closes
+	// it after the server stops.
+	Migrator *Migrator
 }
 
 // Server accepts memcached protocol connections and serves a Store.
@@ -152,6 +161,19 @@ func (s *Server) Listen(addr string) error {
 	s.ln = ln
 	return nil
 }
+
+// SetReplicator installs the replica fan-out hook after construction.
+// It exists for a wiring-order reason: a Replicator's Self is the
+// node's serving address, which an ephemeral-port server only knows
+// after Listen — so the caller listens, builds the Replicator from
+// Addr, then installs it. Call before Serve; sessions read the hook
+// when their connection arrives.
+func (s *Server) SetReplicator(r protocol.Replicator) { s.opts.Repl = r }
+
+// SetMigrator attaches a caller-owned Migrator so its live.migrate.*
+// counters surface through Probes, under the same call-before-Serve
+// contract as SetReplicator.
+func (s *Server) SetMigrator(m *Migrator) { s.opts.Migrator = m }
 
 // Addr returns the listener address, or nil before Listen.
 func (s *Server) Addr() net.Addr {
@@ -271,6 +293,9 @@ func (s *Server) handle(conn net.Conn) {
 		if s.flight != nil {
 			sess.SetFlight(&s.flight.binarySink, s.flight.every)
 		}
+		if s.opts.Repl != nil {
+			sess.SetReplicator(s.opts.Repl)
+		}
 		err = sess.Serve()
 	} else {
 		sess := protocol.NewSessionBuffered(s.store, br, bw)
@@ -280,6 +305,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if s.flight != nil {
 			sess.SetFlight(&s.flight.asciiSink, s.flight.every)
+		}
+		if s.opts.Repl != nil {
+			sess.SetReplicator(s.opts.Repl)
 		}
 		err = sess.Serve()
 	}

@@ -1,0 +1,42 @@
+package kvstore
+
+// GetWithExpiry returns a copy of the entry plus its absolute expiry
+// (unix seconds, 0 = never) — what a migration stream needs to re-create
+// the item on another node with its TTL intact. Unlike Get it neither
+// counts a hit/miss nor promotes the item in the eviction policy: a
+// background scan must not skew foreground cache behaviour.
+func (st *Store) GetWithExpiry(key string) (Entry, int64, bool) {
+	sh := st.shardFor(key)
+	now := st.clock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := sh.s.live(key, now)
+	if it == nil {
+		return Entry{}, 0, false
+	}
+	out := make([]byte, it.valueLen)
+	copy(out, it.value())
+	return Entry{Value: out, Flags: it.flags, CAS: it.casID}, it.expireAt, true
+}
+
+// AppendKeys appends every live (non-expired, non-flushed) key to dst
+// and returns the extended slice. It takes each shard lock once, so the
+// walk is consistent per shard but not across shards — exactly the
+// guarantee key-range migration needs: a snapshot listing to stream
+// from, with per-key re-reads at send time deciding what is still
+// current. Key strings are immutable, so the result aliases nothing
+// mutable.
+func (st *Store) AppendKeys(dst []string) []string {
+	now := st.clock()
+	for _, ls := range st.shards {
+		ls.mu.Lock()
+		ls.s.table.forEach(func(it *item) {
+			if it.expired(now) || ls.s.flushed(it, now) {
+				return
+			}
+			dst = append(dst, it.key)
+		})
+		ls.mu.Unlock()
+	}
+	return dst
+}

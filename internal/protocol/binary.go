@@ -125,10 +125,18 @@ type BinarySession struct {
 
 	// Optional admission gate, as on Session.
 	gate Gate
+
+	// Optional replica fan-out hook; nil means every write is local.
+	repl Replicator
 }
 
 // SetGate installs an in-flight admission gate; call before Serve.
 func (s *BinarySession) SetGate(g Gate) { s.gate = g }
+
+// SetReplicator installs the replica fan-out hook; call before Serve.
+// Successful stores and deletes are handed to it with the request's
+// vbucket-carried ReplMode (ReplLocal frames are never re-replicated).
+func (s *BinarySession) SetReplicator(r Replicator) { s.repl = r }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands; call before Serve.
@@ -437,6 +445,18 @@ func (s *BinarySession) doStore(h binHeader, extras []byte, key string, value []
 	if err != nil {
 		return s.respond(h, storeStatus(err), nil, "", []byte(err.Error()), 0)
 	}
+	// Replica fan-out after the local store succeeds. CAS and add/replace
+	// variants all propagate as plain sets: replicas converge on the
+	// winning value (last-writer-wins), they do not re-run the guard. A
+	// quorum shortfall is reported even on quiet opcodes — the client
+	// asked for an acknowledgement guarantee, so silence would lie.
+	if s.repl != nil {
+		if mode := ReplModeFromVbucket(h.status); mode != ReplLocal {
+			if rerr := s.repl.ReplicateSet(key, value, flags, exptime, mode); rerr != nil {
+				return s.respond(h, StatusNoQuorum, nil, "", []byte(rerr.Error()), 0)
+			}
+		}
+	}
 	if quiet(h.opcode) {
 		return nil
 	}
@@ -467,6 +487,13 @@ func (s *BinarySession) doDelete(h binHeader, key string) error {
 			return nil
 		}
 		return s.respond(h, StatusKeyNotFound, nil, "", []byte("Not found"), 0)
+	}
+	if s.repl != nil {
+		if mode := ReplModeFromVbucket(h.status); mode != ReplLocal {
+			if rerr := s.repl.ReplicateDelete(key, mode); rerr != nil {
+				return s.respond(h, StatusNoQuorum, nil, "", []byte(rerr.Error()), 0)
+			}
+		}
 	}
 	if quiet(h.opcode) {
 		return nil

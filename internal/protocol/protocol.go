@@ -89,10 +89,23 @@ type Session struct {
 
 	// Optional admission gate; nil means unlimited.
 	gate Gate
+
+	// Optional replica fan-out hook; nil means every write is local.
+	// The ASCII protocol has no spare request field for a per-op mode,
+	// so ASCII writes always replicate with the server default.
+	repl Replicator
 }
 
 // SetGate installs an in-flight admission gate; call before Serve.
 func (s *Session) SetGate(g Gate) { s.gate = g }
+
+// SetReplicator installs the replica fan-out hook; call before Serve.
+// Successful set/add/replace/cas stores and deletes are handed to it
+// with ReplDefault (the ASCII protocol carries no per-op mode).
+// Append/prepend and incr/decr stay local-only: their deltas are not
+// idempotent, so propagating them as sets would race concurrent
+// mutations — the ROBUSTNESS.md replication chapter records the gap.
+func (s *Session) SetReplicator(r Replicator) { s.repl = r }
 
 // SetObserver installs a per-op observer and the nanosecond clock used
 // to time commands. Both must be non-nil to enable observation; call
@@ -553,6 +566,11 @@ func (s *Session) doStore(verb string, args []string, _ int) error {
 	case "prepend":
 		serr = s.store.Prepend(key, data)
 	}
+	if serr == nil && s.repl != nil && (verb == "set" || verb == "add" || verb == "replace") {
+		if rerr := s.repl.ReplicateSet(key, data, flags, exptime, ReplDefault); rerr != nil {
+			serr = rerr
+		}
+	}
 	s.markExec()
 	if noreply {
 		return nil
@@ -574,6 +592,11 @@ func (s *Session) doCas(args []string) error {
 	}
 	s.markParse()
 	serr := s.store.CAS(key, data, flags, exptime, cas)
+	if serr == nil && s.repl != nil {
+		if rerr := s.repl.ReplicateSet(key, data, flags, exptime, ReplDefault); rerr != nil {
+			serr = rerr
+		}
+	}
 	s.markExec()
 	if noreply {
 		return nil
@@ -617,12 +640,20 @@ func (s *Session) doDelete(args []string) error {
 	}
 	s.markParse()
 	err := s.store.Delete(args[0])
+	if err == nil && s.repl != nil {
+		if rerr := s.repl.ReplicateDelete(args[0], ReplDefault); rerr != nil {
+			err = rerr
+		}
+	}
 	s.markExec()
 	if noreply {
 		return nil
 	}
-	if errors.Is(err, kvstore.ErrNotFound) {
+	switch {
+	case errors.Is(err, kvstore.ErrNotFound):
 		return s.reply(respNotFound)
+	case err != nil:
+		return s.reply("SERVER_ERROR " + err.Error() + "\r\n")
 	}
 	return s.reply(respDeleted)
 }
