@@ -43,6 +43,9 @@ func main() {
 	benchWorkers := flag.Int("bench-workers", 4, "live bench: concurrent connections")
 	benchValue := flag.Int("bench-value", 100, "live bench: value size in bytes")
 	benchBinary := flag.Bool("bench-binary", false, "live bench: use the binary protocol")
+	benchBatched := flag.Bool("bench-batched", false, "live bench: run the server's event-driven batched datapath")
+	benchPipeline := flag.Int("bench-pipeline", 1, "live bench: pipelined multiget depth for gets (1 = one round trip per get)")
+	benchGetRatio := flag.Float64("bench-get-ratio", 0.9, "live bench: fraction of gets (rest are sets)")
 	flightTrace := flag.String("flight-trace", "", "live bench: record the server's flight trace and write Perfetto JSON here")
 	flag.Parse()
 
@@ -57,7 +60,8 @@ func main() {
 		runLiveBench(liveBenchArgs{
 			snapshot: *snapshot, compare: *compare, tolerance: *tolerance,
 			name: *benchName, ops: *benchOps, workers: *benchWorkers,
-			valueSize: *benchValue, binary: *benchBinary, flightTrace: *flightTrace,
+			valueSize: *benchValue, binary: *benchBinary, batched: *benchBatched,
+			pipeline: *benchPipeline, getRatio: *benchGetRatio, flightTrace: *flightTrace,
 		})
 		return
 	}
@@ -98,6 +102,9 @@ type liveBenchArgs struct {
 	workers     int
 	valueSize   int
 	binary      bool
+	batched     bool
+	pipeline    int
+	getRatio    float64
 	flightTrace string
 }
 
@@ -114,7 +121,10 @@ func runLiveBench(a liveBenchArgs) {
 		Ops:         a.ops,
 		Workers:     a.workers,
 		ValueSize:   a.valueSize,
+		GetRatio:    a.getRatio,
 		Binary:      a.binary,
+		Batched:     a.batched,
+		Pipeline:    a.pipeline,
 		Flight:      rec,
 		FlightEvery: 1,
 	})
@@ -123,9 +133,10 @@ func runLiveBench(a liveBenchArgs) {
 		os.Exit(1)
 	}
 	r := snap.Result
-	fmt.Fprintf(os.Stderr, "kv3d-bench: %s: %d ops in %v: %.0f ops/s, p50=%dns p99=%dns p999=%dns, %.1f allocs/op\n",
+	fmt.Fprintf(os.Stderr, "kv3d-bench: %s: %d ops in %v: %.0f ops/s, p50=%dns p99=%dns p999=%dns, %.1f allocs/op, %.2f syscalls/op (%.2f rd + %.2f wr)\n",
 		snap.Name, r.Ops, time.Duration(r.DurationNs).Round(time.Millisecond),
-		r.OpsPerSec, r.LatencyNs.P50, r.LatencyNs.P99, r.LatencyNs.P999, r.AllocsPerOp)
+		r.OpsPerSec, r.LatencyNs.P50, r.LatencyNs.P99, r.LatencyNs.P999, r.AllocsPerOp,
+		r.SyscallsPerOp, r.ServerReadsPerOp, r.ServerWritesPerOp)
 	if r.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "kv3d-bench: %d operations failed\n", r.Errors)
 		os.Exit(1)

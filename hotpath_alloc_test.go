@@ -250,6 +250,80 @@ func TestKVStoreGetBatchIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestKVStoreSetBatchZeroAlloc measures the store-side set batch: with
+// reused ops/errs/scratch, a 64-op batch over existing keys is
+// alloc-free (slab chunks recycle through the free lists).
+func TestKVStoreSetBatchZeroAlloc(t *testing.T) {
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte("bench-value-0123456789")
+	ops := make([]kvstore.SetOp, 64)
+	for i := range ops {
+		key := "sb-key-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		ops[i] = kvstore.SetOp{Key: key, Value: value}
+	}
+	var scr kvstore.BatchScratch
+	errs := make([]error, 0, len(ops))
+	// Warm the scratch and slab classes to their high-water mark.
+	errs = st.SetBatch(ops, errs[:0], &scr)
+	allocs := testing.AllocsPerRun(100, func() {
+		errs = st.SetBatch(ops, errs[:0], &scr)
+		for _, e := range errs {
+			if e != nil {
+				t.Fatal(e)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SetBatch allocates %v per batch, want 0", allocs)
+	}
+}
+
+// TestASCIIGetBatchedZeroAllocPerOp re-runs the ASCII GET gate through
+// the event-loop batched path (session wired to a Coalescer): per-op
+// allocations must stay exactly zero — the batching refactor is not
+// allowed to spend the syscall win on heap churn.
+func TestASCIIGetBatchedZeroAllocPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented sync.Pool drops Puts by design, so round recycling cannot be alloc-free")
+	}
+	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("k", []byte("0123456789abcdef"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	coal := kvstore.NewCoalescer(st, kvstore.CoalescerOptions{})
+	session := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("get k\r\n")
+		}
+		b.WriteString("quit\r\n")
+		return b.String()
+	}
+	serve := func(req string) {
+		r := bufio.NewReaderSize(strings.NewReader(req), 4096)
+		w := bufio.NewWriterSize(io.Discard, 4096)
+		sess := protocol.NewSessionBuffered(st, r, w)
+		sess.SetCoalescer(coal)
+		if err := sess.Serve(); err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	}
+	const small, large = 64, 2048
+	reqSmall, reqLarge := session(small), session(large)
+	allocsSmall := testing.AllocsPerRun(10, func() { serve(reqSmall) })
+	allocsLarge := testing.AllocsPerRun(10, func() { serve(reqLarge) })
+	if perOp := (allocsLarge - allocsSmall) / float64(large-small); perOp != 0 {
+		t.Fatalf("batched ASCII GET allocates %v per op (session totals: %v @ %d ops, %v @ %d ops), want 0",
+			perOp, allocsSmall, small, allocsLarge, large)
+	}
+}
+
 func TestASCIIGetZeroAllocPerOp(t *testing.T) {
 	st, err := kvstore.New(kvstore.DefaultConfig(32 << 20))
 	if err != nil {

@@ -3,8 +3,10 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kv3d/internal/kvclient"
@@ -32,6 +34,15 @@ type LiveConfig struct {
 	GetRatio float64
 	// Binary selects the binary protocol for the workers (default ASCII).
 	Binary bool
+	// Batched runs the server with the event-driven batched datapath
+	// (kvserver.Options.Batched): coalesced store rounds and
+	// flush-on-drain response staging.
+	Batched bool
+	// Pipeline > 1 makes workers issue their gets as pipelined
+	// multi-key batches of this depth instead of one blocking
+	// round trip per key. Each key still counts as one op; the latency
+	// histogram then records per-batch round trips.
+	Pipeline int
 	// Seed drives the per-worker op mix (default 1) — the same seed
 	// replays the same request sequence.
 	Seed uint64
@@ -69,13 +80,50 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.StoreBytes <= 0 {
 		c.StoreBytes = 64 << 20
 	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
 	return c
+}
+
+// countingConn counts Read/Write calls on one server-side connection.
+// Over a bufio-backed session each call maps to one syscall on a real
+// socket, so the per-op ratio measures how well the server batches its
+// I/O — the number the batched datapath exists to shrink.
+type countingConn struct {
+	net.Conn
+	ln *countingListener
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	c.ln.reads.Add(1)
+	return c.Conn.Read(p)
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	c.ln.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// countingListener wraps every accepted connection in a countingConn.
+type countingListener struct {
+	net.Listener
+	reads, writes atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return countingConn{Conn: conn, ln: l}, nil
 }
 
 // benchConn is the protocol surface a worker drives — both client types
 // satisfy it.
 type benchConn interface {
 	Get(key string) (kvclient.Item, error)
+	GetMulti(keys []string) (map[string]kvclient.Item, error)
 	Set(key string, value []byte, flags uint32, exptime int64) error
 	Close() error
 }
@@ -92,15 +140,18 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	srv := kvserver.NewWithOptions(st, nil, kvserver.Options{
+		Batched:     cfg.Batched,
 		Flight:      cfg.Flight,
 		FlightEvery: cfg.FlightEvery,
 	})
-	if err := srv.Listen("127.0.0.1:0"); err != nil {
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		return Snapshot{}, err
 	}
-	go srv.Serve() //nolint:kv3d -- Serve's error surfaces as op failures on the workers; the bench reports those
+	ln := &countingListener{Listener: rawLn}
+	go srv.ServeOn(ln) //nolint:kv3d -- Serve's error surfaces as op failures on the workers; the bench reports those
 	defer srv.Close()
-	addr := srv.Addr().String()
+	addr := rawLn.Addr().String()
 
 	dial := func() (benchConn, error) {
 		if cfg.Binary {
@@ -147,6 +198,9 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 	var before, after runtime.MemStats
 	runtime.GC() // settle the heap so alloc deltas reflect the run, not setup garbage
 	runtime.ReadMemStats(&before)
+	// Snapshot the server-side I/O counters so preload and dial traffic
+	// is excluded from the per-op syscall figures.
+	startReads, startWrites := ln.reads.Load(), ln.writes.Load()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -162,10 +216,43 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 			res := &results[w]
 			res.hist = metrics.NewHistogram()
 			conn := conns[w]
+			var pending []string
+			if cfg.Pipeline > 1 {
+				pending = make([]string, 0, cfg.Pipeline)
+			}
+			// flushPending issues the accumulated gets as one pipelined
+			// multiget; the histogram records the batch round trip.
+			flushPending := func() {
+				if len(pending) == 0 {
+					return
+				}
+				opStart := time.Now()
+				items, err := conn.GetMulti(pending)
+				if err != nil {
+					res.errors += int64(len(pending))
+				} else {
+					for _, k := range pending {
+						if _, ok := items[k]; ok {
+							res.hits++
+						} else {
+							res.misses++
+						}
+					}
+				}
+				res.hist.Record(time.Since(opStart).Nanoseconds())
+				pending = pending[:0]
+			}
 			for i := 0; i < ops; i++ {
 				key := benchKey(int(rng.Uint64() % uint64(cfg.KeySpace)))
+				if cfg.Pipeline > 1 && rng.Float64() < cfg.GetRatio {
+					pending = append(pending, key)
+					if len(pending) == cfg.Pipeline {
+						flushPending()
+					}
+					continue
+				}
 				opStart := time.Now()
-				if rng.Float64() < cfg.GetRatio {
+				if cfg.Pipeline <= 1 && rng.Float64() < cfg.GetRatio {
 					_, err := conn.Get(key)
 					switch {
 					case err == nil:
@@ -176,12 +263,16 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 						res.errors++
 					}
 				} else {
+					// Flush queued gets first so a pipelined run keeps
+					// read-your-write ordering across the set.
+					flushPending()
 					if err := conn.Set(key, value, 0, 0); err != nil {
 						res.errors++
 					}
 				}
 				res.hist.Record(time.Since(opStart).Nanoseconds())
 			}
+			flushPending()
 		}(w, ops)
 	}
 	wg.Wait()
@@ -210,6 +301,11 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 	if cfg.Ops > 0 {
 		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(cfg.Ops)
 		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Ops)
+		reads := float64(ln.reads.Load() - startReads)
+		writes := float64(ln.writes.Load() - startWrites)
+		res.ServerReadsPerOp = reads / float64(cfg.Ops)
+		res.ServerWritesPerOp = writes / float64(cfg.Ops)
+		res.SyscallsPerOp = (reads + writes) / float64(cfg.Ops)
 	}
 
 	return Snapshot{
@@ -227,6 +323,8 @@ func RunLive(cfg LiveConfig) (Snapshot, error) {
 			Workers:   cfg.Workers,
 			GetRatio:  cfg.GetRatio,
 			Binary:    cfg.Binary,
+			Batched:   cfg.Batched,
+			Pipeline:  cfg.Pipeline,
 			Seed:      cfg.Seed,
 		},
 		Result: res,

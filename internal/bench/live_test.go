@@ -55,6 +55,46 @@ func TestRunLiveASCIIAndBinary(t *testing.T) {
 	}
 }
 
+// TestRunLiveBatchedPipeline runs the batched server under a pipelined
+// binary GET workload and checks the syscall accounting: the batched
+// datapath must serve a 16-deep pipeline with far fewer server I/O
+// calls per op than the per-op path needs (which pays ~1 read + 1
+// write per op). Segmentation, not timing, so this is stable on CI.
+func TestRunLiveBatchedPipeline(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	perOp, err := RunLive(LiveConfig{
+		Name: "per-op", Ops: 2000, Workers: 2, Binary: true, GetRatio: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunLive(LiveConfig{
+		Name: "batched", Ops: 2000, Workers: 2, Binary: true, GetRatio: 1.0,
+		Batched: true, Pipeline: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]Result{"per-op": perOp.Result, "batched": batched.Result} {
+		if r.Errors != 0 {
+			t.Fatalf("%s run had %d errors", name, r.Errors)
+		}
+		if r.Hits+r.Misses != 2000 {
+			t.Fatalf("%s run accounted %d gets, want 2000", name, r.Hits+r.Misses)
+		}
+		if r.SyscallsPerOp <= 0 {
+			t.Fatalf("%s run measured no server syscalls", name)
+		}
+	}
+	if !batched.Config.Batched || batched.Config.Pipeline != 16 {
+		t.Fatalf("batched config not recorded: %+v", batched.Config)
+	}
+	if batched.Result.SyscallsPerOp >= perOp.Result.SyscallsPerOp/2 {
+		t.Fatalf("pipelined batched run did not shrink server syscalls: %.2f/op vs per-op %.2f/op",
+			batched.Result.SyscallsPerOp, perOp.Result.SyscallsPerOp)
+	}
+}
+
 // TestRunLiveFlightCapture proves a bench run can double as a trace
 // capture: the attached recorder ends up with a valid trace document.
 func TestRunLiveFlightCapture(t *testing.T) {

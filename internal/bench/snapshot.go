@@ -46,7 +46,13 @@ type Config struct {
 	Workers   int     `json:"workers"`
 	GetRatio  float64 `json:"get_ratio"`
 	Binary    bool    `json:"binary"`
-	Seed      uint64  `json:"seed"`
+	// Batched runs the server's event-driven batched datapath; Pipeline
+	// is the client-side multiget depth (1 = one round trip per get).
+	// Both default false/1 in older snapshots, which is exactly what
+	// those runs measured.
+	Batched  bool   `json:"batched,omitempty"`
+	Pipeline int    `json:"pipeline,omitempty"`
+	Seed     uint64 `json:"seed"`
 }
 
 // Result is what the run measured.
@@ -65,6 +71,14 @@ type Result struct {
 	// the end-to-end allocation cost of one operation.
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Server-side I/O calls per operation, measured by wrapping every
+	// accepted connection: each Read is one wakeup+read syscall, each
+	// Write one write syscall (the session layer writes through bufio,
+	// so Writes count flushes, not response fragments). Absent (zero)
+	// in snapshots taken before the batched-datapath work.
+	ServerReadsPerOp  float64 `json:"server_reads_per_op,omitempty"`
+	ServerWritesPerOp float64 `json:"server_writes_per_op,omitempty"`
+	SyscallsPerOp     float64 `json:"syscalls_per_op,omitempty"`
 }
 
 // Write stores the snapshot as indented JSON (newline-terminated, so
@@ -139,5 +153,6 @@ func Compare(base, cur Snapshot, tolerance float64) []Regression {
 	higher("latency_ns.p999", float64(base.Result.LatencyNs.P999), float64(cur.Result.LatencyNs.P999))
 	higher("allocs_per_op", base.Result.AllocsPerOp, cur.Result.AllocsPerOp)
 	higher("bytes_per_op", base.Result.BytesPerOp, cur.Result.BytesPerOp)
+	higher("syscalls_per_op", base.Result.SyscallsPerOp, cur.Result.SyscallsPerOp)
 	return regs
 }

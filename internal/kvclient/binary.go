@@ -326,6 +326,49 @@ func (b *BinaryClient) DeleteWithMode(key string, mode protocol.ReplMode) error 
 	return statusErr(resp.status, resp.value)
 }
 
+// Touch updates a key's TTL with the server's default replication mode;
+// ErrNotFound when the key is absent.
+func (b *BinaryClient) Touch(key string, exptime int64) error {
+	return b.TouchWithMode(key, exptime, protocol.ReplDefault)
+}
+
+// TouchWithMode updates a key's TTL with an explicit per-op replication
+// mode, as on SetWithMode.
+func (b *BinaryClient) TouchWithMode(key string, exptime int64, mode protocol.ReplMode) error {
+	var extras [4]byte
+	binary.BigEndian.PutUint32(extras[:], uint32(exptime))
+	opaque := b.writeRequestVbucket(protocol.OpTouch, key, extras[:], nil, 0, uint16(mode))
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.status, resp.value)
+}
+
+// Flush invalidates the whole cache after delay seconds (0 = now) with
+// the server's default replication mode.
+func (b *BinaryClient) Flush(delay int64) error {
+	return b.FlushWithMode(delay, protocol.ReplDefault)
+}
+
+// FlushWithMode is Flush with an explicit per-op replication mode. A
+// zero delay sends no extras; a non-zero delay rides the optional
+// 4-byte extras field.
+func (b *BinaryClient) FlushWithMode(delay int64, mode protocol.ReplMode) error {
+	var extras []byte
+	if delay != 0 {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(delay))
+		extras = buf[:]
+	}
+	opaque := b.writeRequestVbucket(protocol.OpFlush, "", extras, nil, 0, uint16(mode))
+	resp, err := b.roundTrip(opaque)
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.status, resp.value)
+}
+
 // Noop round-trips an empty command — a liveness probe that also acts
 // as a pipeline barrier.
 func (b *BinaryClient) Noop() error {

@@ -46,6 +46,14 @@ func (a replAdapter) DeleteWithMode(key string, mode protocol.ReplMode) error {
 	return err
 }
 
+func (a replAdapter) TouchWithMode(key string, exptime int64, mode protocol.ReplMode) error {
+	err := a.BinaryClient.TouchWithMode(key, exptime, mode)
+	if errors.Is(err, kvclient.ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
 func replDial(addr string) (kvserver.ReplConn, error) {
 	bc, err := kvclient.DialBinaryOptions(addr, kvclient.Options{
 		DialTimeout: time.Second, OpTimeout: time.Second,

@@ -47,6 +47,11 @@ var ErrNoQuorum = errors.New("kvserver: no quorum")
 type ReplConn interface {
 	SetWithMode(key string, value []byte, flags uint32, exptime int64, mode protocol.ReplMode) error
 	DeleteWithMode(key string, mode protocol.ReplMode) error
+	// TouchWithMode propagates a TTL update; an absent key on the
+	// replica is success for the same reason as with deletes.
+	TouchWithMode(key string, exptime int64, mode protocol.ReplMode) error
+	// FlushWithMode propagates a flush_all with its delay.
+	FlushWithMode(delay int64, mode protocol.ReplMode) error
 	Close() error
 }
 
@@ -96,6 +101,16 @@ func (o ReplOptions) withDefaults() ReplOptions {
 	return o
 }
 
+// replKind selects the replica-side operation of one job.
+type replKind uint8
+
+const (
+	replSet replKind = iota
+	replDelete
+	replTouch
+	replFlush // exptime carries the flush delay; key is empty
+)
+
 // replJob is one queued replica mutation. value is owned by the job
 // (copied out of the session's frame buffer before enqueue).
 type replJob struct {
@@ -103,7 +118,7 @@ type replJob struct {
 	value   []byte
 	flags   uint32
 	exptime int64
-	del     bool
+	kind    replKind
 	// ack, when non-nil, receives the send outcome (quorum writes);
 	// buffered so a worker never blocks on a departed waiter.
 	ack chan error
@@ -202,7 +217,42 @@ func (r *Replicator) ReplicateSet(key string, value []byte, flags uint32, exptim
 
 // ReplicateDelete propagates one delete. Implements protocol.Replicator.
 func (r *Replicator) ReplicateDelete(key string, mode protocol.ReplMode) error {
-	return r.replicate(replJob{key: key, del: true}, mode)
+	return r.replicate(replJob{key: key, kind: replDelete}, mode)
+}
+
+// ReplicateTouch propagates one TTL update. Implements
+// protocol.Replicator; async-mode drops are counted like sets.
+func (r *Replicator) ReplicateTouch(key string, exptime int64, mode protocol.ReplMode) error {
+	return r.replicate(replJob{key: key, exptime: exptime, kind: replTouch}, mode)
+}
+
+// ReplicateFlush propagates one flush_all. Implements
+// protocol.Replicator. Unlike the keyed ops it fans out to every other
+// member — a flush clears the whole keyspace, so every node that owns
+// any of it must hear about it.
+func (r *Replicator) ReplicateFlush(delay int64, mode protocol.ReplMode) error {
+	job := replJob{exptime: delay, kind: replFlush}
+	remote := r.allRemotes()
+	switch r.resolve(mode) {
+	case protocol.ReplQuorum:
+		// The local flush already succeeded, so self always votes.
+		return r.quorumFanout(job, remote, true)
+	default:
+		r.asyncFanout(job, remote)
+		return nil
+	}
+}
+
+// allRemotes lists every current member except this node.
+func (r *Replicator) allRemotes() []string {
+	v := r.opts.Membership.View()
+	remote := v.Nodes[:0]
+	for _, n := range v.Nodes {
+		if n != r.opts.Self {
+			remote = append(remote, n)
+		}
+	}
+	return remote
 }
 
 func (r *Replicator) replicate(job replJob, mode protocol.ReplMode) error {
@@ -363,9 +413,14 @@ func (r *Replicator) send(conn *ReplConn, addr string, job replJob) error {
 		*conn = c
 	}
 	var err error
-	if job.del {
+	switch job.kind {
+	case replDelete:
 		err = (*conn).DeleteWithMode(job.key, protocol.ReplLocal)
-	} else {
+	case replTouch:
+		err = (*conn).TouchWithMode(job.key, job.exptime, protocol.ReplLocal)
+	case replFlush:
+		err = (*conn).FlushWithMode(job.exptime, protocol.ReplLocal)
+	default:
 		err = (*conn).SetWithMode(job.key, job.value, job.flags, job.exptime, protocol.ReplLocal)
 	}
 	if err != nil {

@@ -18,6 +18,8 @@ type fakeReplStore struct {
 	mu      sync.Mutex
 	values  map[string]map[string]string // peer -> key -> value
 	deletes map[string][]string          // peer -> deleted keys
+	touches map[string]map[string]int64  // peer -> key -> exptime
+	flushes map[string][]int64           // peer -> flush delays
 	fail    map[string]error             // peer -> send error
 	dialErr map[string]error             // peer -> dial error
 	dials   map[string]int
@@ -27,6 +29,8 @@ func newFakeReplStore() *fakeReplStore {
 	return &fakeReplStore{
 		values:  map[string]map[string]string{},
 		deletes: map[string][]string{},
+		touches: map[string]map[string]int64{},
+		flushes: map[string][]int64{},
 		fail:    map[string]error{},
 		dialErr: map[string]error{},
 		dials:   map[string]int{},
@@ -84,6 +88,37 @@ func (c *fakeReplConn) DeleteWithMode(key string, mode protocol.ReplMode) error 
 	}
 	delete(c.store.values[c.addr], key)
 	c.store.deletes[c.addr] = append(c.store.deletes[c.addr], key)
+	return nil
+}
+
+func (c *fakeReplConn) TouchWithMode(key string, exptime int64, mode protocol.ReplMode) error {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	if err := c.store.fail[c.addr]; err != nil {
+		return err
+	}
+	if mode != protocol.ReplLocal {
+		return fmt.Errorf("replica frame carried mode %v, want local", mode)
+	}
+	m := c.store.touches[c.addr]
+	if m == nil {
+		m = map[string]int64{}
+		c.store.touches[c.addr] = m
+	}
+	m[key] = exptime
+	return nil
+}
+
+func (c *fakeReplConn) FlushWithMode(delay int64, mode protocol.ReplMode) error {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	if err := c.store.fail[c.addr]; err != nil {
+		return err
+	}
+	if mode != protocol.ReplLocal {
+		return fmt.Errorf("replica frame carried mode %v, want local", mode)
+	}
+	c.store.flushes[c.addr] = append(c.store.flushes[c.addr], delay)
 	return nil
 }
 
@@ -303,6 +338,112 @@ func TestReplicatorFollowsMembership(t *testing.T) {
 		}
 	}
 	t.Fatal("no key owned by peer-b found in 2000 tries")
+}
+
+// TestReplicatorTouchFanout: touch rides the same key-owner fan-out as
+// sets — every remote owner of the key receives the new exptime.
+// Pre-fix, touch never reached the Replicator at all, so replica TTLs
+// silently diverged from the primary's.
+func TestReplicatorTouchFanout(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	r := newTestReplicator(t, fake, protocol.ReplAsync)
+	defer r.Close()
+
+	keys := []string{"alpha", "bravo", "charlie"}
+	for _, k := range keys {
+		if err := r.ReplicateTouch(k, 300, protocol.ReplDefault); err != nil {
+			t.Fatalf("replicate touch %q: %v", k, err)
+		}
+	}
+	if err := r.Drain(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for _, k := range keys {
+		for _, peer := range remoteOwners(t, r.opts.Membership, k, 2) {
+			for {
+				fake.mu.Lock()
+				exp, ok := fake.touches[peer][k]
+				fake.mu.Unlock()
+				if ok {
+					if exp != 300 {
+						t.Fatalf("peer %s touch exptime for %s = %d, want 300", peer, k, exp)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("peer %s never received touch of %q", peer, k)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+// TestReplicatorFlushFanoutAll: flush is keyless, so it targets every
+// member except self — not just a key's owner set. A flush that skipped
+// a non-owner peer would leave that peer serving the flushed data.
+func TestReplicatorFlushFanoutAll(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	r := newTestReplicator(t, fake, protocol.ReplAsync)
+	defer r.Close()
+
+	if err := r.ReplicateFlush(60, protocol.ReplDefault); err != nil {
+		t.Fatalf("replicate flush: %v", err)
+	}
+	if err := r.Drain(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for _, peer := range []string{"peer-a", "peer-b"} {
+		for {
+			fake.mu.Lock()
+			delays := append([]int64(nil), fake.flushes[peer]...)
+			fake.mu.Unlock()
+			if len(delays) == 1 && delays[0] == 60 {
+				break
+			}
+			if len(delays) > 1 {
+				t.Fatalf("peer %s received %d flushes, want 1", peer, len(delays))
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("peer %s never received the flush (got %v)", peer, delays)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestReplicatorTouchFlushQuorum: quorum touch and flush acknowledge
+// synchronously; a quorum flush counts the local flush as one vote and
+// still succeeds with one of two peers down.
+func TestReplicatorTouchFlushQuorum(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	fake := newFakeReplStore()
+	r := newTestReplicator(t, fake, protocol.ReplQuorum)
+	defer r.Close()
+
+	if err := r.ReplicateTouch("qk", 120, protocol.ReplQuorum); err != nil {
+		t.Fatalf("quorum touch: %v", err)
+	}
+	if err := r.ReplicateFlush(0, protocol.ReplQuorum); err != nil {
+		t.Fatalf("quorum flush: %v", err)
+	}
+	fake.mu.Lock()
+	flushed := len(fake.flushes["peer-a"]) + len(fake.flushes["peer-b"])
+	fake.mu.Unlock()
+	if flushed == 0 {
+		t.Fatal("quorum flush reached no peer")
+	}
+
+	fake.mu.Lock()
+	fake.fail["peer-a"] = errors.New("peer down")
+	fake.mu.Unlock()
+	if err := r.ReplicateFlush(5, protocol.ReplQuorum); err != nil {
+		t.Fatalf("quorum flush with one peer down must still reach majority (self + peer-b): %v", err)
+	}
 }
 
 // TestReplicatorCloseJoinsWorkers: Close stops every peer worker even

@@ -1,0 +1,363 @@
+package kvstore
+
+// Cross-connection request coalescing: the store-side engine of the
+// event-driven server core (ROADMAP item 2). Connection goroutines
+// submit parsed GET key sets / SET op runs as jobs; concurrent jobs are
+// merged into one shard-ordered GetBatchInto / SetBatch call so that a
+// burst of single-key requests from many connections costs one lock
+// acquisition per involved shard per round instead of one per request —
+// MICA-style request coalescing on the combining-leader pattern.
+//
+// Concurrency model: there are no dedicated worker goroutines. The
+// first submitter to find no leader running becomes the leader, drains
+// the queue in rounds (each round = everything queued while the
+// previous round executed), signals every job it served, and steps down
+// when the queue is empty. Every other submitter just blocks on its
+// job's done channel. Leadership hand-off is ordered by the coalescer
+// mutex, so the leader-only scratch state below needs no further
+// synchronization. Because the leader runs on a request goroutine and
+// steps down the moment the queue empties, there is nothing to start or
+// stop: the coalescer's lifecycle is the store's.
+//
+// Buffer ownership: a GetJob's keys are borrowed from the submitting
+// session's request buffers. The submitter blocks until its round
+// completes, so the borrowed memory is stable for exactly the window
+// the round reads it; the round clears its key references before being
+// pooled so no request buffer outlives its request. Values land in a
+// round-owned destination buffer shared by every job of the round —
+// reference-counted, returned to a sync.Pool by the last Release.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RoundKind labels a coalescing round for the observation hook.
+type RoundKind uint8
+
+// Round kinds.
+const (
+	RoundGet RoundKind = iota
+	RoundSet
+)
+
+// String returns the kind's metric-name segment.
+func (k RoundKind) String() string {
+	if k == RoundSet {
+		return "set"
+	}
+	return "get"
+}
+
+// CoalescerOptions tune a Coalescer. The zero value is fully usable.
+type CoalescerOptions struct {
+	// OnRound, when set, observes every executed round: how many jobs
+	// (submitting connections) and ops it merged, and the round's
+	// store-execution window in NowNanos time. The hook runs on the
+	// leader goroutine and must be safe for concurrent use with other
+	// store callers.
+	OnRound func(kind RoundKind, jobs, ops int, startNs, endNs int64)
+	// NowNanos timestamps rounds for OnRound; nil reports zeros. The
+	// clock is injected so the coalescer never reads wall time itself
+	// (the same determinism contract as Config.Clock).
+	NowNanos func() int64
+}
+
+// Coalescer merges concurrent batched lookups and stores against one
+// Store. Safe for concurrent use by any number of goroutines.
+type Coalescer struct {
+	st   *Store
+	opts CoalescerOptions
+
+	mu     sync.Mutex
+	leader bool      //kv3d:guardedby mu
+	gets   []*GetJob //kv3d:guardedby mu
+	sets   []*SetJob //kv3d:guardedby mu
+
+	// getsSpare/setsSpare recycle queue backing arrays: the leader swaps
+	// the live queue with the spare when it snapshots a round, and hands
+	// the drained snapshot back (job pointers cleared) when the round
+	// ends. Two arrays ping-pong forever, so steady-state submits never
+	// allocate.
+	getsSpare []*GetJob //kv3d:guardedby mu
+	setsSpare []*SetJob //kv3d:guardedby mu
+
+	// rounds/ops/coalesced are the live.batch.* feed: executed rounds,
+	// total ops served through them, and ops that shared a round with at
+	// least one other job (the cross-connection win, zero when every
+	// round holds a single job).
+	rounds    atomic.Uint64
+	ops       atomic.Uint64
+	coalesced atomic.Uint64
+
+	// pool recycles get-round result buffers (see getRound).
+	pool sync.Pool
+
+	// Leader-only scratch for set rounds: results are copied out to the
+	// jobs before the round ends, so set rounds need no refcount and one
+	// scratch per coalescer suffices. Only the current leader touches
+	// these, and leadership hand-off is ordered by mu (the old leader's
+	// final unlock happens-before the new leader's first lock).
+	setOps  []SetOp
+	setErrs []error
+	setScr  BatchScratch
+}
+
+// NewCoalescer builds a coalescer over the store.
+func NewCoalescer(st *Store, opts CoalescerOptions) *Coalescer {
+	return &Coalescer{st: st, opts: opts}
+}
+
+// Rounds reports how many rounds have executed.
+func (c *Coalescer) Rounds() uint64 { return c.rounds.Load() }
+
+// Ops reports how many ops were served through rounds.
+func (c *Coalescer) Ops() uint64 { return c.ops.Load() }
+
+// Coalesced reports how many ops shared their round with another
+// connection's job — the portion of traffic that actually amortized a
+// shard lock across connections.
+func (c *Coalescer) Coalesced() uint64 { return c.coalesced.Load() }
+
+// getRound is one executed get round's shared result state: the keys
+// gathered from every job, the destination buffer all values were
+// appended to, and the per-key results. It stays alive (refcounted)
+// until every job of the round has serialized its responses, then
+// returns to the pool.
+type getRound struct {
+	keys [][]byte
+	dst  []byte
+	out  []BatchResult
+	scr  BatchScratch
+	refs atomic.Int32
+	home *sync.Pool // the owning coalescer's round pool, for Release
+}
+
+// maxPooledRoundBytes caps the destination-buffer capacity a pooled
+// round may retain; larger rounds are dropped for the GC so one huge
+// multiget doesn't pin its high-water mark forever.
+const maxPooledRoundBytes = 1 << 20
+
+// GetJob is one submitter's stake in a get round. The zero value is
+// ready; a session reuses one job across requests. After Gets returns,
+// read each key's result with Result, then Release the round before
+// the next submission.
+type GetJob struct {
+	keys  [][]byte
+	round *getRound
+	base  int
+	done  chan struct{}
+}
+
+// Result returns the i-th key's value and result. The value aliases
+// the round's shared buffer: consume it before Release.
+//
+//kv3d:aliases
+func (j *GetJob) Result(i int) ([]byte, BatchResult) {
+	r := j.round.out[j.base+i]
+	return j.round.dst[r.Start:r.End], r
+}
+
+// Release drops the job's reference on its round; the last release
+// recycles the round buffer. Calling it after a zero-key Gets is a
+// no-op.
+func (j *GetJob) Release() {
+	r := j.round
+	if r == nil {
+		return
+	}
+	j.round = nil
+	j.keys = nil
+	if r.refs.Add(-1) != 0 {
+		return
+	}
+	// Last job out: drop borrowed key references (they alias request
+	// buffers that must not outlive their requests), then recycle.
+	for i := range r.keys {
+		r.keys[i] = nil
+	}
+	r.keys = r.keys[:0]
+	r.dst = r.dst[:0]
+	r.out = r.out[:0]
+	// j.round was cleared above and r escapes only into the pool here,
+	// never used again by this job.
+	if cap(r.dst) <= maxPooledRoundBytes {
+		r.home.Put(r)
+	}
+}
+
+// SetJob is one submitter's stake in a set round. The zero value is
+// ready; a session reuses one job across requests. After Sets returns,
+// per-op errors are read with Err — they are job-owned copies, so no
+// Release is needed.
+type SetJob struct {
+	ops  []SetOp
+	errs []error
+	done chan struct{}
+}
+
+// Err returns the i-th op's result (nil on success).
+func (j *SetJob) Err(i int) error { return j.errs[i] }
+
+// Gets submits the key set and blocks until the round that served it
+// completed. Keys are borrowed: they must stay stable until Release.
+//
+//kv3d:borrowed keys
+func (c *Coalescer) Gets(job *GetJob, keys [][]byte) {
+	if len(keys) == 0 {
+		job.round = nil
+		return
+	}
+	if job.done == nil {
+		job.done = make(chan struct{}, 1)
+	}
+	job.keys = keys //nolint:kv3d -- sanctioned retention: the submitter blocks on job.done until the round completes, so the borrowed keys are stable for exactly the window the round reads them, and the round clears its references before pooling
+	c.submit(job, nil)
+	<-job.done
+}
+
+// Sets submits the op run and blocks until the round that applied it
+// completed. Op values are borrowed (SetBatch copies them under the
+// shard locks); per-op errors are copied into the job before return.
+func (c *Coalescer) Sets(job *SetJob, ops []SetOp) {
+	if len(ops) == 0 {
+		return
+	}
+	if job.done == nil {
+		job.done = make(chan struct{}, 1)
+	}
+	job.ops = ops //nolint:kv3d -- sanctioned retention: the submitter blocks on job.done until the round completes; op values are copied into slab memory before the round signals
+	c.submit(nil, job)
+	<-job.done
+}
+
+// submit queues the job and runs the leader loop if no leader is
+// active. Exactly one of g/s is non-nil.
+func (c *Coalescer) submit(g *GetJob, s *SetJob) {
+	c.mu.Lock()
+	if g != nil {
+		c.gets = append(c.gets, g)
+	} else {
+		c.sets = append(c.sets, s)
+	}
+	if c.leader {
+		c.mu.Unlock()
+		return // the running leader will serve this job
+	}
+	c.leader = true
+	for {
+		gets, sets := c.gets, c.sets
+		c.gets, c.sets = c.getsSpare[:0], c.setsSpare[:0]
+		c.getsSpare, c.setsSpare = nil, nil
+		c.mu.Unlock()
+		if len(gets) > 0 {
+			c.runGetRound(gets)
+		}
+		if len(sets) > 0 {
+			c.runSetRound(sets)
+		}
+		// Drop the snapshot's job references before recycling it as the
+		// next spare: every job was signalled above, and a stale pointer
+		// here would pin a released job past its round.
+		for i := range gets {
+			gets[i] = nil
+		}
+		for i := range sets {
+			sets[i] = nil
+		}
+		c.mu.Lock()
+		c.getsSpare, c.setsSpare = gets[:0], sets[:0]
+		if len(c.gets) == 0 && len(c.sets) == 0 {
+			c.leader = false
+			c.mu.Unlock()
+			return
+		}
+		// Jobs queued while the rounds ran: serve them too. The loop
+		// terminates as soon as a queue check comes up empty, so the
+		// leader is never parked — it either executes work or leaves.
+	}
+}
+
+// runGetRound merges the jobs' keys, executes one shard-ordered batched
+// lookup, and signals every job. The round buffer stays alive until the
+// last job Releases it.
+func (c *Coalescer) runGetRound(jobs []*GetJob) {
+	r := c.newRound()
+	total := 0
+	for _, j := range jobs {
+		j.base = total
+		total += len(j.keys)
+		r.keys = append(r.keys, j.keys...)
+	}
+	r.refs.Store(int32(len(jobs)))
+	var startNs, endNs int64
+	if c.opts.NowNanos != nil {
+		startNs = c.opts.NowNanos()
+	}
+	r.dst, r.out = c.st.GetBatchInto(r.dst[:0], r.keys, r.out[:0], &r.scr)
+	if c.opts.NowNanos != nil {
+		endNs = c.opts.NowNanos()
+	}
+	c.observe(RoundGet, len(jobs), total, startNs, endNs)
+	// Publish the finished round only now: j.round is the submitter's
+	// window into r, and the done send orders every mutation above
+	// before the submitter's first read.
+	for _, j := range jobs {
+		j.round = r
+		j.done <- struct{}{} // buffered(1): never blocks the leader
+	}
+}
+
+// runSetRound merges the jobs' ops, executes one shard-ordered batched
+// store, copies each job's error span back, and signals every job.
+func (c *Coalescer) runSetRound(jobs []*SetJob) {
+	ops := c.setOps[:0]
+	for _, j := range jobs {
+		ops = append(ops, j.ops...)
+	}
+	var startNs, endNs int64
+	if c.opts.NowNanos != nil {
+		startNs = c.opts.NowNanos()
+	}
+	errs := c.st.SetBatch(ops, c.setErrs[:0], &c.setScr)
+	if c.opts.NowNanos != nil {
+		endNs = c.opts.NowNanos()
+	}
+	c.observe(RoundSet, len(jobs), len(ops), startNs, endNs)
+	pos := 0
+	for _, j := range jobs {
+		n := len(j.ops)
+		if cap(j.errs) < n {
+			j.errs = make([]error, n)
+		}
+		j.errs = j.errs[:n]
+		copy(j.errs, errs[pos:pos+n])
+		pos += n
+		j.ops = nil
+		j.done <- struct{}{}
+	}
+	// Drop borrowed op references (keys/values alias request buffers)
+	// before the scratch is reused by a later leader.
+	for i := range ops {
+		ops[i] = SetOp{}
+	}
+	c.setOps, c.setErrs = ops[:0], errs[:0]
+}
+
+func (c *Coalescer) observe(kind RoundKind, jobs, nops int, startNs, endNs int64) {
+	c.rounds.Add(1)
+	c.ops.Add(uint64(nops))
+	if jobs > 1 {
+		c.coalesced.Add(uint64(nops))
+	}
+	if c.opts.OnRound != nil {
+		c.opts.OnRound(kind, jobs, nops, startNs, endNs)
+	}
+}
+
+func (c *Coalescer) newRound() *getRound {
+	if r, ok := c.pool.Get().(*getRound); ok {
+		return r
+	}
+	return &getRound{home: &c.pool}
+}

@@ -1,0 +1,269 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetBatchBasic(t *testing.T) {
+	st := newTestStore(t, nil)
+	ops := []SetOp{
+		{Key: "a", Value: []byte("1"), Flags: 7},
+		{Key: "b", Value: []byte("2")},
+		{Key: "a", Value: []byte("3")}, // duplicate: last write wins
+	}
+	var scr BatchScratch
+	errs := st.SetBatch(ops, nil, &scr)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	e, ok := st.Get("a")
+	if !ok || string(e.Value) != "3" {
+		t.Fatalf("a = %q, %v; want duplicate-key last write \"3\"", e.Value, ok)
+	}
+	if e, ok := st.Get("b"); !ok || string(e.Value) != "2" || e.Flags != 0 {
+		t.Fatalf("b = %q flags=%d, %v", e.Value, e.Flags, ok)
+	}
+}
+
+func TestSetBatchErrorsAndExpiry(t *testing.T) {
+	clk := &fakeClock{now: 0}
+	st := newTestStore(t, func(c *Config) { c.Clock = clk.fn })
+	ops := []SetOp{
+		{Key: "ok", Value: []byte("v"), Exptime: 10},
+		{Key: "bad key", Value: []byte("v")},
+		{Key: strings.Repeat("x", MaxKeyLen+1), Value: []byte("v")},
+		{Key: "dead", Value: []byte("v"), Exptime: -1}, // store succeeds, item born expired
+	}
+	var scr BatchScratch
+	errs := st.SetBatch(ops, nil, &scr)
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("valid ops errored: %v %v", errs[0], errs[3])
+	}
+	if !errors.Is(errs[1], ErrBadKey) || !errors.Is(errs[2], ErrBadKey) {
+		t.Fatalf("bad keys = %v, %v; want ErrBadKey", errs[1], errs[2])
+	}
+	if _, ok := st.Get("ok"); !ok {
+		t.Fatal("ok missing")
+	}
+	if _, ok := st.Get("dead"); ok {
+		t.Fatal("negative exptime through SetBatch left item visible at t=0")
+	}
+	clk.now = 10
+	if _, ok := st.Get("ok"); ok {
+		t.Fatal("relative exptime through SetBatch not honored")
+	}
+}
+
+// TestSetBatchMatchesSequential cross-checks a batch against a replayed
+// sequence of Store.Set calls on a twin store.
+func TestSetBatchMatchesSequential(t *testing.T) {
+	batched := newTestStore(t, nil)
+	seq := newTestStore(t, nil)
+	var ops []SetOp
+	for i := 0; i < 257; i++ {
+		ops = append(ops, SetOp{
+			Key:   fmt.Sprintf("key-%d", i%97), // force duplicates
+			Value: []byte(fmt.Sprintf("val-%d", i)),
+			Flags: uint32(i),
+		})
+	}
+	var scr BatchScratch
+	errs := batched.SetBatch(ops, nil, &scr)
+	for i, op := range ops {
+		serr := seq.Set(op.Key, op.Value, op.Flags, op.Exptime)
+		if (serr == nil) != (errs[i] == nil) {
+			t.Fatalf("op %d: batch err %v, sequential err %v", i, errs[i], serr)
+		}
+	}
+	for i := 0; i < 97; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		be, bok := batched.Get(key)
+		se, sok := seq.Get(key)
+		if bok != sok || string(be.Value) != string(se.Value) || be.Flags != se.Flags {
+			t.Fatalf("%s diverged: batch (%q,%d,%v) vs sequential (%q,%d,%v)",
+				key, be.Value, be.Flags, bok, se.Value, se.Flags, sok)
+		}
+	}
+}
+
+func TestCoalescerGets(t *testing.T) {
+	st := newTestStore(t, nil)
+	st.Set("a", []byte("alpha"), 3, 0)
+	st.Set("b", []byte("beta"), 0, 0)
+	c := NewCoalescer(st, CoalescerOptions{})
+	var job GetJob
+	keys := [][]byte{[]byte("a"), []byte("missing"), []byte("b")}
+	c.Gets(&job, keys)
+	v, r := job.Result(0)
+	if !r.Found || string(v) != "alpha" || r.Flags != 3 {
+		t.Fatalf("a = %q found=%v flags=%d", v, r.Found, r.Flags)
+	}
+	if _, r := job.Result(1); r.Found {
+		t.Fatal("missing key reported found")
+	}
+	if v, r := job.Result(2); !r.Found || string(v) != "beta" {
+		t.Fatalf("b = %q found=%v", v, r.Found)
+	}
+	job.Release()
+	if got := c.Ops(); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+	// Zero-key submit is a no-op and Release stays safe.
+	c.Gets(&job, nil)
+	job.Release()
+}
+
+func TestCoalescerSets(t *testing.T) {
+	st := newTestStore(t, nil)
+	c := NewCoalescer(st, CoalescerOptions{})
+	var job SetJob
+	c.Sets(&job, []SetOp{
+		{Key: "x", Value: []byte("1")},
+		{Key: "bad key", Value: []byte("2")},
+	})
+	if err := job.Err(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(job.Err(1), ErrBadKey) {
+		t.Fatalf("err(1) = %v", job.Err(1))
+	}
+	if e, ok := st.Get("x"); !ok || string(e.Value) != "1" {
+		t.Fatalf("x = %q, %v", e.Value, ok)
+	}
+}
+
+// TestCoalescerMergesConcurrentJobs drives many goroutines through one
+// coalescer and asserts (a) every job sees exactly its own results and
+// (b) at least some ops actually shared a round across submitters —
+// the cross-connection coalescing the event-driven core exists for.
+func TestCoalescerMergesConcurrentJobs(t *testing.T) {
+	// Each round reads the store clock exactly once; a clock that sleeps
+	// forces the leader to yield mid-round so other submitters queue up
+	// behind it. That makes cross-submitter merging deterministic even
+	// at GOMAXPROCS=1, where a non-blocking leader would otherwise run
+	// every round with exactly its own job.
+	slowClock := func() int64 {
+		time.Sleep(100 * time.Microsecond)
+		return 1000
+	}
+	st := newTestStore(t, func(c *Config) { c.Shards = 8; c.Clock = slowClock })
+	const nKeys = 64
+	for i := 0; i < nKeys; i++ {
+		st.Set(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i)), uint32(i), 0)
+	}
+	var onRoundMu sync.Mutex
+	maxJobs := 0
+	c := NewCoalescer(st, CoalescerOptions{
+		OnRound: func(kind RoundKind, jobs, ops int, _, _ int64) {
+			onRoundMu.Lock()
+			if jobs > maxJobs {
+				maxJobs = jobs
+			}
+			onRoundMu.Unlock()
+		},
+	})
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var gj GetJob
+			var sj SetJob
+			for it := 0; it < iters; it++ {
+				k1 := fmt.Sprintf("k%02d", (w*7+it)%nKeys)
+				k2 := fmt.Sprintf("k%02d", (w*13+it)%nKeys)
+				c.Gets(&gj, [][]byte{[]byte(k1), []byte(k2)})
+				v1, r1 := gj.Result(0)
+				v2, r2 := gj.Result(1)
+				want1, want2 := "v"+k1[1:], "v"+k2[1:]
+				if !r1.Found || string(v1) != want1 || !r2.Found || string(v2) != want2 {
+					gj.Release()
+					errc <- fmt.Errorf("worker %d iter %d: got (%q,%v) (%q,%v), want %q %q",
+						w, it, v1, r1.Found, v2, r2.Found, want1, want2)
+					return
+				}
+				gj.Release()
+				if it%10 == 0 {
+					// Rewrite with the same value so reads stay verifiable.
+					c.Sets(&sj, []SetOp{{Key: k1, Value: []byte(want1), Flags: uint32((w*7 + it) % nKeys)}})
+					if err := sj.Err(0); err != nil {
+						errc <- fmt.Errorf("worker %d iter %d set: %v", w, it, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	wantOps := uint64(workers*iters*2 + workers*(iters/10))
+	if got := c.Ops(); got != wantOps {
+		t.Fatalf("Ops = %d, want %d", got, wantOps)
+	}
+	if c.Rounds() == 0 || c.Rounds() > c.Ops() {
+		t.Fatalf("Rounds = %d out of range", c.Rounds())
+	}
+	// With the leader parked in the slow clock every round, at least one
+	// round must have merged jobs from more than one submitter.
+	if maxJobs < 2 {
+		t.Fatalf("no round ever merged >1 job (maxJobs=%d): coalescing never happened", maxJobs)
+	}
+	if c.Coalesced() == 0 {
+		t.Fatal("Coalesced counter stayed zero despite merged rounds")
+	}
+}
+
+// TestCoalescerRoundPooling checks rounds are recycled rather than
+// reallocated, and that pooled rounds carry no stale results.
+func TestCoalescerRoundPooling(t *testing.T) {
+	st := newTestStore(t, nil)
+	st.Set("a", []byte("first"), 0, 0)
+	c := NewCoalescer(st, CoalescerOptions{})
+	var job GetJob
+	c.Gets(&job, [][]byte{[]byte("a")})
+	v, _ := job.Result(0)
+	if string(v) != "first" {
+		t.Fatalf("v = %q", v)
+	}
+	job.Release()
+	st.Set("a", []byte("second"), 0, 0)
+	c.Gets(&job, [][]byte{[]byte("a")})
+	if v, _ := job.Result(0); string(v) != "second" {
+		t.Fatalf("after reuse v = %q, want fresh result", v)
+	}
+	job.Release()
+}
+
+func TestCoalescerOnRoundClock(t *testing.T) {
+	st := newTestStore(t, nil)
+	now := int64(100)
+	var gotKind RoundKind
+	var gotStart, gotEnd int64
+	c := NewCoalescer(st, CoalescerOptions{
+		NowNanos: func() int64 { now += 5; return now },
+		OnRound: func(kind RoundKind, jobs, ops int, startNs, endNs int64) {
+			gotKind, gotStart, gotEnd = kind, startNs, endNs
+		},
+	})
+	var sj SetJob
+	c.Sets(&sj, []SetOp{{Key: "a", Value: []byte("v")}})
+	if gotKind != RoundSet || gotStart != 105 || gotEnd != 110 {
+		t.Fatalf("OnRound saw kind=%v start=%d end=%d", gotKind, gotStart, gotEnd)
+	}
+	if RoundGet.String() != "get" || RoundSet.String() != "set" {
+		t.Fatalf("RoundKind strings: %q %q", RoundGet.String(), RoundSet.String())
+	}
+}

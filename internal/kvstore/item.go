@@ -12,7 +12,7 @@ type item struct {
 
 	flags    uint32
 	casID    uint64
-	expireAt int64 // unix seconds; 0 = never
+	expireAt int64 // unix seconds; 0 = never, negative = already expired
 	storedAt int64 // unix seconds when (re)stored; for flush_all epochs
 
 	classIdx int
@@ -30,8 +30,14 @@ type item struct {
 // value returns the live value bytes.
 func (it *item) value() []byte { return it.data[:it.valueLen] }
 
-// expired reports whether the item is past its TTL at time now.
+// expired reports whether the item is past its TTL at time now. A
+// negative expireAt (the expiredNow sentinel from a negative client
+// exptime) is expired at every clock value — the explicit branch keeps
+// that true even for a hypothetical negative logical clock.
 func (it *item) expired(now int64) bool {
+	if it.expireAt < 0 {
+		return true
+	}
 	return it.expireAt != 0 && now >= it.expireAt
 }
 

@@ -174,18 +174,32 @@ func (st *Store) shardForBytes(key []byte) *lockedShard {
 	return st.shards[(fnv1a64Bytes(key)>>48)&st.mask]
 }
 
+// expiredNow is the absolute-expiry sentinel for "already expired":
+// item.expired holds for it at every clock value, including the t=0 a
+// fresh injected sim clock starts at. (The previous encoding, unix
+// second 1, was live for a store whose clock had not yet passed 1 —
+// negative-exptime items survived under sim clocks.)
+const expiredNow int64 = -1
+
 // expiryToAbs converts a memcached exptime to an absolute unix time:
-// 0 = never, <= 30 days = relative seconds, otherwise already absolute.
+// 0 = never, negative = already expired, <= 30 days = relative seconds,
+// otherwise already absolute.
 func (st *Store) expiryToAbs(exptime int64) int64 {
+	return expiryToAbsAt(exptime, st.clock)
+}
+
+// expiryToAbsAt is expiryToAbs against an explicit clock, so batched
+// mutations can convert every op against one clock read.
+func expiryToAbsAt(exptime int64, clock func() int64) int64 {
 	const thirtyDays = 60 * 60 * 24 * 30
 	if exptime == 0 {
 		return 0
 	}
 	if exptime < 0 {
-		return 1 // already expired (memcached treats negatives as "immediately")
+		return expiredNow // memcached treats negatives as "immediately"
 	}
 	if exptime <= thirtyDays {
-		return st.clock() + exptime
+		return clock() + exptime
 	}
 	return exptime
 }

@@ -1,0 +1,407 @@
+package protocol
+
+// Regression and equivalence tests for the PR-10 batched datapath and
+// its satellite bugfixes: negative exptime means "already expired" on
+// both wire protocols, binary flush validates its extras, touch and
+// flush_all replicate, and — the big one — the event-loop batched
+// session emits byte-identical output to the per-op session for any
+// request stream, because only flush segmentation changed.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"kv3d/internal/kvstore"
+)
+
+// newClockStore builds a store whose clock is frozen at now — negative
+// exptime regressions only bite at sim-time zero, where the buggy
+// "expired = absolute 1" encoding still compared as live.
+func newClockStore(t *testing.T, now int64) *kvstore.Store {
+	t.Helper()
+	cfg := kvstore.DefaultConfig(16 << 20)
+	cfg.Clock = func() int64 { return now }
+	st, err := kvstore.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// touchExtras is the 4-byte big-endian exptime extras of OpTouch/OpFlush.
+func touchExtras(exptime uint32) []byte {
+	e := make([]byte, 4)
+	binary.BigEndian.PutUint32(e, exptime)
+	return e
+}
+
+// TestASCIINegativeExptime: storing or touching with a negative exptime
+// must make the item immediately invisible, even at sim-time zero.
+// Pre-fix, negative exptimes were encoded as absolute time 1, which an
+// injected clock still at 0 considered live.
+func TestASCIINegativeExptime(t *testing.T) {
+	st := newClockStore(t, 0)
+	out := run(t, st,
+		"set k 0 -1 1\r\nx\r\n"+
+			"get k\r\n"+
+			"set j 0 0 1\r\ny\r\n"+
+			"touch j -1\r\n"+
+			"get j\r\n")
+	want := "STORED\r\nEND\r\nSTORED\r\nTOUCHED\r\nEND\r\n"
+	if out != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+}
+
+// TestBinaryNegativeExptime: the binary exptime field is decoded as a
+// signed 32-bit value, so 0xffffffff arrives as -1 and must expire the
+// item immediately — on stores and on touch.
+func TestBinaryNegativeExptime(t *testing.T) {
+	st := newClockStore(t, 0)
+	rs := runBinary(t, st,
+		frame(OpSet, "k", setExtras(0, 0xffffffff), []byte("x"), 0, 1),
+		frame(OpGet, "k", nil, nil, 0, 2),
+		frame(OpSet, "j", setExtras(0, 0), []byte("y"), 0, 3),
+		frame(OpTouch, "j", touchExtras(0xffffffff), nil, 0, 4),
+		frame(OpGet, "j", nil, nil, 0, 5),
+	)
+	if len(rs) != 5 {
+		t.Fatalf("got %d responses, want 5", len(rs))
+	}
+	if rs[0].status != StatusOK || rs[2].status != StatusOK || rs[3].status != StatusOK {
+		t.Fatalf("writes failed: %+v", rs)
+	}
+	if rs[1].status != StatusKeyNotFound {
+		t.Fatalf("get after negative-exptime set = %+v, want KeyNotFound", rs[1])
+	}
+	if rs[4].status != StatusKeyNotFound {
+		t.Fatalf("get after negative-exptime touch = %+v, want KeyNotFound", rs[4])
+	}
+}
+
+// TestBinaryFlushExtras: flush must honor a 4-byte delay, accept no
+// extras, and reject every other extras length with StatusInvalidArgs —
+// including on the quiet opcode, where silence would hide the error.
+// Pre-fix, a 2-byte extras field was silently treated as "flush now",
+// turning a client framing bug into whole-cache loss.
+func TestBinaryFlushExtras(t *testing.T) {
+	now := int64(1000)
+	cfg := kvstore.DefaultConfig(16 << 20)
+	cfg.Clock = func() int64 { return now }
+	st, err := kvstore.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := runBinary(t, st,
+		frame(OpSet, "k", setExtras(0, 0), []byte("v"), 0, 1),
+		frame(OpFlush, "", touchExtras(100), nil, 0, 2), // delayed: fires at 1100, clock is 1000
+		frame(OpGet, "k", nil, nil, 0, 3),               // still visible
+		frame(OpFlush, "", []byte{0, 1}, nil, 0, 4),     // 2-byte extras: reject
+		frame(OpFlushQ, "", []byte{1, 2, 3}, nil, 0, 5), // quiet + bad extras: still responds
+		frame(OpGet, "k", nil, nil, 0, 6),               // rejected flushes had no effect
+	)
+	if len(rs) != 6 {
+		t.Fatalf("got %d responses, want 6 (bad quiet flush must respond)", len(rs))
+	}
+	if rs[1].status != StatusOK {
+		t.Fatalf("delayed flush: %+v", rs[1])
+	}
+	if rs[2].status != StatusOK || string(rs[2].value) != "v" {
+		t.Fatalf("get during pending delayed flush = %+v, want hit", rs[2])
+	}
+	if rs[3].status != StatusInvalidArgs || rs[3].opaque != 4 {
+		t.Fatalf("2-byte flush extras = %+v, want StatusInvalidArgs", rs[3])
+	}
+	if rs[4].status != StatusInvalidArgs || rs[4].opaque != 5 {
+		t.Fatalf("quiet flush with bad extras = %+v, want StatusInvalidArgs response", rs[4])
+	}
+	if rs[5].status != StatusOK {
+		t.Fatalf("get after rejected flushes = %+v, want hit", rs[5])
+	}
+	// The delay must have been parsed as exactly 100: the key survives
+	// at 1099 and is gone at 1100. Pre-fix behavior (treating a framing
+	// mismatch as "flush now") would already have killed it above.
+	now = 1099
+	rs = runBinary(t, st, frame(OpGet, "k", nil, nil, 0, 7))
+	if len(rs) != 1 || rs[0].status != StatusOK {
+		t.Fatalf("get at epoch-1 = %+v, want hit", rs)
+	}
+	now = 1100
+	rs = runBinary(t, st, frame(OpGet, "k", nil, nil, 0, 8))
+	if len(rs) != 1 || rs[0].status != StatusKeyNotFound {
+		t.Fatalf("get at flush epoch = %+v, want KeyNotFound", rs)
+	}
+}
+
+// TestASCIITouchFlushReplicate: ASCII touch and flush_all must hand
+// their mutation to the Replicator — pre-fix they silently skipped it,
+// so replicas kept stale TTLs and flushed primaries diverged from
+// unflushed replicas.
+func TestASCIITouchFlushReplicate(t *testing.T) {
+	rec := &recordingReplicator{}
+	st := newStore(t)
+	buf := &rwBuffer{in: bytes.NewReader([]byte(
+		"set k 0 0 1\r\nv\r\n" +
+			"touch k 300\r\n" +
+			"touch missing 5\r\n" + // local NOT_FOUND: nothing to replicate
+			"flush_all 60\r\n" +
+			"flush_all\r\n"))}
+	sess := NewSession(st, buf)
+	sess.SetReplicator(rec)
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if len(rec.touches) != 1 || rec.touches[0] != (replTouchRec{"k", 300, ReplDefault}) {
+		t.Fatalf("replicated touches = %+v, want [{k 300 default}]", rec.touches)
+	}
+	if len(rec.flushes) != 2 ||
+		rec.flushes[0] != (replFlushRec{60, ReplDefault}) ||
+		rec.flushes[1] != (replFlushRec{0, ReplDefault}) {
+		t.Fatalf("replicated flushes = %+v, want delays [60 0]", rec.flushes)
+	}
+}
+
+// TestASCIITouchFlushReplicationFailure: a failed fan-out surfaces as
+// SERVER_ERROR rather than acknowledging a write the replicas missed.
+func TestASCIITouchFlushReplicationFailure(t *testing.T) {
+	rec := &recordingReplicator{fail: errors.New("no quorum")}
+	st := newStore(t)
+	if err := st.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := &rwBuffer{in: bytes.NewReader([]byte("touch k 300\r\nflush_all\r\n"))}
+	sess := NewSession(st, buf)
+	sess.SetReplicator(rec)
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.out.String(), "\r\n"), "\r\n")
+	if len(lines) != 2 ||
+		!strings.HasPrefix(lines[0], "SERVER_ERROR") ||
+		!strings.HasPrefix(lines[1], "SERVER_ERROR") {
+		t.Fatalf("out = %q, want two SERVER_ERROR lines", buf.out.String())
+	}
+}
+
+// TestBinaryTouchFlushReplicate: binary touch and flush replicate with
+// the vbucket-selected mode; ReplLocal frames (replica-applied writes)
+// are never re-replicated, and a failed fan-out is StatusNoQuorum.
+func TestBinaryTouchFlushReplicate(t *testing.T) {
+	rec := &recordingReplicator{}
+	rs := runBinaryRepl(t, rec,
+		frameVb(OpSet, "k", setExtras(0, 0), []byte("v"), uint16(ReplLocal), 1),
+		frameVb(OpTouch, "k", touchExtras(120), nil, uint16(ReplQuorum), 2),
+		frameVb(OpTouch, "k", touchExtras(60), nil, uint16(ReplLocal), 3),
+		frameVb(OpFlush, "", touchExtras(30), nil, uint16(ReplAsync), 4),
+		frameVb(OpFlush, "", nil, nil, uint16(ReplLocal), 5),
+	)
+	for i, r := range rs {
+		if r.status != StatusOK {
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+	if len(rec.touches) != 1 || rec.touches[0] != (replTouchRec{"k", 120, ReplQuorum}) {
+		t.Fatalf("replicated touches = %+v, want only the quorum touch", rec.touches)
+	}
+	if len(rec.flushes) != 1 || rec.flushes[0] != (replFlushRec{30, ReplAsync}) {
+		t.Fatalf("replicated flushes = %+v, want only the async flush", rec.flushes)
+	}
+}
+
+// TestBinaryTouchFlushQuorumShortfall: replication failure on touch and
+// flush reports StatusNoQuorum instead of success.
+func TestBinaryTouchFlushQuorumShortfall(t *testing.T) {
+	rec := &recordingReplicator{fail: errors.New("1 of 3 acks")}
+	st := newStore(t)
+	if err := st.Set("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	in.Write(frameVb(OpTouch, "k", touchExtras(120), nil, uint16(ReplQuorum), 1))
+	in.Write(frameVb(OpFlush, "", nil, nil, uint16(ReplQuorum), 2))
+	buf := &rwBuffer{in: bytes.NewReader(in.Bytes())}
+	sess := NewBinarySession(st, buf)
+	sess.SetReplicator(rec)
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	rs := parseResponses(t, buf.out.Bytes())
+	if len(rs) != 2 || rs[0].status != StatusNoQuorum || rs[1].status != StatusNoQuorum {
+		t.Fatalf("responses = %+v, want two StatusNoQuorum", rs)
+	}
+}
+
+// --- batched-vs-per-op byte identity ---------------------------------
+
+// asciiCorpus exercises hits, misses, multigets, CAS, quiet (noreply)
+// writes, arithmetic, deletes, touch, flush, and parse errors — every
+// response class the batched path must reproduce byte for byte.
+var asciiCorpus = "set a 7 0 5\r\nhello\r\n" +
+	"set b 0 0 3 noreply\r\nxyz\r\n" +
+	"get a\r\n" +
+	"get a b missing\r\n" +
+	"gets a b\r\n" +
+	"get missing\r\n" +
+	"add a 0 0 1\r\nz\r\n" + // NOT_STORED: a exists
+	"append a 0 0 1\r\n!\r\n" +
+	"get a\r\n" +
+	"incr n 5\r\n" + // NOT_FOUND
+	"set n 0 0 1\r\n1\r\n" +
+	"incr n 41\r\n" +
+	"delete b\r\n" +
+	"delete b\r\n" + // NOT_FOUND
+	"get b\r\n" +
+	"bogus command\r\n" + // ERROR
+	"touch a 300\r\n" +
+	"set neg 0 -1 1\r\nx\r\n" +
+	"get neg\r\n" +
+	"flush_all\r\n" +
+	"get a\r\n" +
+	"verbosity 1\r\n" +
+	"version\r\n"
+
+// serveASCII runs the corpus through a fresh fixed-clock store, with or
+// without the coalescer attached, and returns the raw response bytes.
+func serveASCII(t *testing.T, input string, batched bool) []byte {
+	t.Helper()
+	st := newClockStore(t, 1000)
+	buf := &rwBuffer{in: bytes.NewReader([]byte(input))}
+	sess := NewSession(st, buf)
+	if batched {
+		sess.SetCoalescer(kvstore.NewCoalescer(st, kvstore.CoalescerOptions{}))
+	}
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve (batched=%v): %v", batched, err)
+	}
+	return buf.out.Bytes()
+}
+
+// TestASCIIBatchedByteIdentity: the batched session must emit exactly
+// the bytes the per-op session emits — batching changes syscall
+// segmentation, never content.
+func TestASCIIBatchedByteIdentity(t *testing.T) {
+	perOp := serveASCII(t, asciiCorpus, false)
+	batched := serveASCII(t, asciiCorpus, true)
+	if !bytes.Equal(perOp, batched) {
+		t.Fatalf("batched ASCII output diverged:\nper-op:  %q\nbatched: %q", perOp, batched)
+	}
+	if len(perOp) == 0 {
+		t.Fatal("corpus produced no output")
+	}
+}
+
+// binaryCorpus builds a frame stream covering quiet gets (hit and
+// miss), getk variants, staged-run interruption by writes, deletes,
+// arithmetic, touch, flush validation errors, and unknown opcodes.
+func binaryCorpus() []byte {
+	var in bytes.Buffer
+	add := func(f []byte) { in.Write(f) }
+	add(frame(OpSet, "a", setExtras(7, 0), []byte("alpha"), 0, 1))
+	add(frame(OpSetQ, "b", setExtras(0, 0), []byte("beta"), 0, 2))
+	add(frame(OpGet, "a", nil, nil, 0, 3))
+	add(frame(OpGetQ, "a", nil, nil, 0, 4))
+	add(frame(OpGetQ, "missing", nil, nil, 0, 5)) // quiet miss: silent
+	add(frame(OpGetK, "b", nil, nil, 0, 6))
+	add(frame(OpGetKQ, "missing", nil, nil, 0, 7)) // quiet miss: silent
+	add(frame(OpGetKQ, "a", nil, nil, 0, 8))
+	// A write interrupts a staged get run: ordering must hold.
+	add(frame(OpGetQ, "a", nil, nil, 0, 9))
+	add(frame(OpSet, "a", setExtras(1, 0), []byte("alpha2"), 0, 10))
+	add(frame(OpGet, "a", nil, nil, 0, 11))
+	add(frame(OpDelete, "b", nil, nil, 0, 12))
+	add(frame(OpDeleteQ, "b", nil, nil, 0, 13)) // quiet miss: must respond NotFound
+	add(frame(OpGet, "b", nil, nil, 0, 14))
+	add(frame(OpIncr, "n", incrExtras(5, 100, 0), nil, 0, 15))
+	add(frame(OpTouch, "a", touchExtras(300), nil, 0, 16))
+	add(frame(OpSet, "neg", setExtras(0, 0xffffffff), []byte("x"), 0, 17))
+	add(frame(OpGet, "neg", nil, nil, 0, 18))
+	add(frame(OpFlush, "", []byte{9, 9}, nil, 0, 19)) // bad extras: InvalidArgs
+	add(frame(OpGet, "a", nil, nil, 0, 20))
+	add(frame(0xEE, "", nil, nil, 0, 21)) // unknown opcode
+	add(frame(OpNoop, "", nil, nil, 0, 22))
+	// A long quiet-get run crosses the maxStagedRun boundary.
+	for i := uint32(0); i < 300; i++ {
+		op := byte(OpGetQ)
+		if i%64 == 0 {
+			op = OpGet
+		}
+		key := "a"
+		if i%3 == 0 {
+			key = "missing"
+		}
+		add(frame(op, key, nil, nil, 0, 1000+i))
+	}
+	add(frame(OpFlush, "", nil, nil, 0, 23))
+	add(frame(OpGet, "a", nil, nil, 0, 24))
+	add(frame(OpVersion, "", nil, nil, 0, 25))
+	return in.Bytes()
+}
+
+func serveBinary(t *testing.T, input []byte, batched bool) []byte {
+	t.Helper()
+	st := newClockStore(t, 1000)
+	buf := &rwBuffer{in: bytes.NewReader(input)}
+	sess := NewBinarySession(st, buf)
+	if batched {
+		sess.SetCoalescer(kvstore.NewCoalescer(st, kvstore.CoalescerOptions{}))
+	}
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve (batched=%v): %v", batched, err)
+	}
+	return buf.out.Bytes()
+}
+
+// TestBinaryBatchedByteIdentity: same invariant on the binary protocol,
+// where the batched path additionally stages get-family frames into
+// coalesced runs — responses must still come back in request order with
+// identical bytes, quiet misses staying silent.
+func TestBinaryBatchedByteIdentity(t *testing.T) {
+	corpus := binaryCorpus()
+	perOp := serveBinary(t, corpus, false)
+	batched := serveBinary(t, corpus, true)
+	if !bytes.Equal(perOp, batched) {
+		// Parse both so the failure shows which frame diverged.
+		a := parseResponses(t, perOp)
+		b := parseResponses(t, batched)
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if a[i].opcode != b[i].opcode || a[i].status != b[i].status ||
+				a[i].opaque != b[i].opaque || a[i].cas != b[i].cas ||
+				!bytes.Equal(a[i].extras, b[i].extras) || a[i].key != b[i].key ||
+				!bytes.Equal(a[i].value, b[i].value) {
+				t.Fatalf("frame %d diverged: per-op %+v, batched %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("batched binary output diverged: per-op %d frames / %d bytes, batched %d frames / %d bytes",
+			len(a), len(perOp), len(b), len(batched))
+	}
+	if len(perOp) == 0 {
+		t.Fatal("corpus produced no output")
+	}
+}
+
+// TestBinaryBatchedCoalescerCounters sanity-checks that the batched
+// session actually routed gets through the coalescer (the identity test
+// would trivially pass if SetCoalescer were ignored).
+func TestBinaryBatchedCoalescerCounters(t *testing.T) {
+	st := newClockStore(t, 1000)
+	coal := kvstore.NewCoalescer(st, kvstore.CoalescerOptions{})
+	buf := &rwBuffer{in: bytes.NewReader(binaryCorpus())}
+	sess := NewBinarySession(st, buf)
+	sess.SetCoalescer(coal)
+	if err := sess.Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if coal.Rounds() == 0 || coal.Ops() == 0 {
+		t.Fatalf("coalescer unused: rounds=%d ops=%d", coal.Rounds(), coal.Ops())
+	}
+	if coal.Ops() < 300 {
+		t.Fatalf("expected the staged get run to flow through the coalescer, ops=%d", coal.Ops())
+	}
+}

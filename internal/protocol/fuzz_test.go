@@ -65,6 +65,8 @@ func FuzzSessionBinary(f *testing.F) {
 	f.Add(frame(OpIncr, "n", incrExtras(1, 5, 0), nil, 0, 0))
 	f.Add(frame(OpStat, "", nil, nil, 0, 0))
 	f.Add(frame(OpQuit, "", nil, nil, 0, 0))
+	f.Add(frame(OpFlush, "", []byte{0, 0, 0, 30}, nil, 0, 0))
+	f.Add(frame(OpFlushQ, "", []byte{0, 30}, nil, 0, 0))
 	f.Add([]byte{0x80})                                          // truncated header
 	f.Add(append(frame(OpGet, "k", nil, nil, 0, 0), 0xde, 0xad)) // trailing junk
 	bad := frame(OpSet, "k", setExtras(0, 0), []byte("v"), 0, 0)
@@ -116,6 +118,13 @@ func FuzzBinaryFramer(f *testing.F) {
 	f.Add(frame(OpIncr, "n", incrExtras(1, 5, 0), nil, 0, 0))
 	f.Add(frame(OpDelete, "gone", nil, nil, 3, 9))
 	f.Add(frame(OpQuit, "", nil, nil, 0, 0))
+	// Flush extras: absent, a well-formed 4-byte delay, and the
+	// malformed lengths the session must reject with StatusInvalidArgs
+	// rather than misread as "flush now".
+	f.Add(frame(OpFlush, "", nil, nil, 0, 0))
+	f.Add(frame(OpFlush, "", []byte{0, 0, 0, 30}, nil, 0, 0))
+	f.Add(frame(OpFlush, "", []byte{0, 30}, nil, 0, 0))
+	f.Add(frame(OpFlushQ, "", []byte{1, 2, 3, 4, 5}, nil, 0, 0))
 	f.Add([]byte{0x81, 0, 0, 0})              // response magic, truncated
 	bad := frame(OpSet, "k", setExtras(0, 0), []byte("v"), 0, 0)
 	bad[4] = 200 // extras longer than body

@@ -94,10 +94,27 @@ type Session struct {
 	// The ASCII protocol has no spare request field for a per-op mode,
 	// so ASCII writes always replicate with the server default.
 	repl Replicator
+
+	// Optional cross-connection coalescer (the event-driven batched
+	// core). When set, get/gets and plain set execute through shared
+	// shard-ordered rounds, and responses are staged: the writer is
+	// flushed only when the read buffer has drained, so a pipelined
+	// burst costs one write syscall instead of one per op.
+	coal   *kvstore.Coalescer
+	getJob kvstore.GetJob
+	setJob kvstore.SetJob
+	setOps []kvstore.SetOp
 }
 
 // SetGate installs an in-flight admission gate; call before Serve.
 func (s *Session) SetGate(g Gate) { s.gate = g }
+
+// SetCoalescer switches the session into batched mode: lookups and
+// plain sets are merged with other connections' into shard-ordered
+// store rounds, and response flushes are deferred while pipelined
+// input is pending. Response bytes are identical to per-op mode — only
+// the store-call and syscall segmentation changes. Call before Serve.
+func (s *Session) SetCoalescer(c *kvstore.Coalescer) { s.coal = c }
 
 // SetReplicator installs the replica fan-out hook; call before Serve.
 // Successful set/add/replace/cas stores and deletes are handed to it
@@ -403,6 +420,22 @@ func (s *Session) reply(msg string) error {
 	if err != nil {
 		return err
 	}
+	return s.maybeFlush()
+}
+
+// maybeFlush is the response-staging point of batched mode: while more
+// pipelined input is already buffered, responses stay in the writer and
+// the flush (one write syscall) happens when the input drains — the
+// "flush before sleeping" discipline. Per-op mode flushes every time,
+// preserving the seed behaviour. The skip is safe against deadlock for
+// any client that sends complete requests: serveOne flushes before
+// every potentially-blocking read.
+//
+//kv3d:hotpath
+func (s *Session) maybeFlush() error {
+	if s.coal != nil && s.r.Buffered() > 0 {
+		return nil
+	}
 	return s.w.Flush()
 }
 
@@ -432,6 +465,9 @@ func (s *Session) doGet(rest []byte, withCAS bool) error {
 		return s.reply(respError)
 	}
 	second, rest := nextToken(rest)
+	if s.coal != nil {
+		return s.doGetBatched(key, second, rest, withCAS)
+	}
 	if len(second) == 0 {
 		// Single-key fast path, identical to the seed behaviour.
 		s.markParse()
@@ -469,6 +505,41 @@ func (s *Session) doGet(rest []byte, withCAS bool) error {
 		return err
 	}
 	return s.w.Flush()
+}
+
+// doGetBatched serves get/gets through the cross-connection coalescer:
+// the key set (single or multi) becomes one job merged with concurrent
+// connections' lookups into a shard-ordered round, and the response is
+// staged rather than flushed per op. The emitted bytes are identical to
+// the per-op path — VALUE blocks in request order, then END.
+//
+//kv3d:hotpath
+func (s *Session) doGetBatched(key, second, rest []byte, withCAS bool) error {
+	s.keyBuf = append(s.keyBuf[:0], key) //nolint:kv3d -- keyBuf entries alias lineBuf; the coalescer round completes (and s.getJob releases them) before the next readLine overwrites it
+	if len(second) != 0 {
+		s.keyBuf = append(s.keyBuf, second) //nolint:kv3d -- same session-scratch self-alias as above
+		for {
+			key, rest = nextToken(rest)
+			if len(key) == 0 {
+				break
+			}
+			s.keyBuf = append(s.keyBuf, key) //nolint:kv3d -- same session-scratch self-alias as above
+		}
+	}
+	s.markParse()
+	s.coal.Gets(&s.getJob, s.keyBuf)
+	s.markExec()
+	for i := range s.keyBuf {
+		v, r := s.getJob.Result(i)
+		if r.Found {
+			s.writeValue(s.keyBuf[i], v, r.Flags, r.CAS, withCAS)
+		}
+	}
+	s.getJob.Release()
+	if _, err := s.w.WriteString(respEnd); err != nil {
+		return err
+	}
+	return s.maybeFlush()
 }
 
 // writeValue emits one "VALUE <key> <flags> <len> [<cas>]\r\n<data>\r\n"
@@ -554,17 +625,17 @@ func (s *Session) doStore(verb string, args []string, _ int) error {
 	}
 	s.markParse()
 	var serr error
-	switch verb {
-	case "set":
-		serr = s.store.Set(key, data, flags, exptime)
-	case "add":
-		serr = s.store.Add(key, data, flags, exptime)
-	case "replace":
-		serr = s.store.Replace(key, data, flags, exptime)
-	case "append":
-		serr = s.store.Append(key, data)
-	case "prepend":
-		serr = s.store.Prepend(key, data)
+	switch {
+	case verb == "set" && s.coal != nil:
+		// Batched mode: a plain set joins the cross-connection set round.
+		// The conditional verbs (add/replace/cas) need their guard run
+		// under the shard lock, which SetBatch does not model, so they
+		// stay on the direct path below.
+		s.setOps = append(s.setOps[:0], kvstore.SetOp{Key: key, Value: data, Flags: flags, Exptime: exptime})
+		s.coal.Sets(&s.setJob, s.setOps)
+		serr = s.setJob.Err(0)
+	default:
+		serr = s.storeVerb(verb, key, data, flags, exptime)
 	}
 	if serr == nil && s.repl != nil && (verb == "set" || verb == "add" || verb == "replace") {
 		if rerr := s.repl.ReplicateSet(key, data, flags, exptime, ReplDefault); rerr != nil {
@@ -576,6 +647,23 @@ func (s *Session) doStore(verb string, args []string, _ int) error {
 		return nil
 	}
 	return s.reply(storeResponse(serr))
+}
+
+// storeVerb executes one direct (non-coalesced) storage mutation.
+func (s *Session) storeVerb(verb, key string, data []byte, flags uint32, exptime int64) error {
+	switch verb {
+	case "set":
+		return s.store.Set(key, data, flags, exptime)
+	case "add":
+		return s.store.Add(key, data, flags, exptime)
+	case "replace":
+		return s.store.Replace(key, data, flags, exptime)
+	case "append":
+		return s.store.Append(key, data)
+	case "prepend":
+		return s.store.Prepend(key, data)
+	}
+	return nil
 }
 
 func (s *Session) doCas(args []string) error {
@@ -704,11 +792,23 @@ func (s *Session) doTouch(args []string) error {
 		return s.clientError("invalid exptime argument")
 	}
 	terr := s.store.Touch(args[0], exptime)
+	// A successful touch must fan out like a set: replicas that keep the
+	// old TTL diverge from the primary (the item outlives or predeceases
+	// its failover copy). Misses are not replicated — the replica's TTL
+	// for a key the primary doesn't have is moot.
+	if terr == nil && s.repl != nil {
+		if rerr := s.repl.ReplicateTouch(args[0], exptime, ReplDefault); rerr != nil {
+			terr = rerr
+		}
+	}
 	if noreply {
 		return nil
 	}
-	if errors.Is(terr, kvstore.ErrNotFound) {
+	switch {
+	case errors.Is(terr, kvstore.ErrNotFound):
 		return s.reply(respNotFound)
+	case terr != nil:
+		return s.reply("SERVER_ERROR " + terr.Error() + "\r\n")
 	}
 	return s.reply(respTouched)
 }
@@ -819,8 +919,17 @@ func (s *Session) doFlushAll(args []string) error {
 		return s.clientError("bad command line format")
 	}
 	s.store.FlushAll(delay)
+	// flush_all must reach replicas too, or a failover resurrects the
+	// entire flushed dataset from a replica that never heard about it.
+	var rerr error
+	if s.repl != nil {
+		rerr = s.repl.ReplicateFlush(delay, ReplDefault)
+	}
 	if noreply {
 		return nil
+	}
+	if rerr != nil {
+		return s.reply("SERVER_ERROR " + rerr.Error() + "\r\n")
 	}
 	return s.reply(respOK)
 }

@@ -87,4 +87,13 @@ const StatusNoQuorum = 0x0086
 type Replicator interface {
 	ReplicateSet(key string, value []byte, flags uint32, exptime int64, mode ReplMode) error
 	ReplicateDelete(key string, mode ReplMode) error
+	// ReplicateTouch propagates a successful TTL update. Without it a
+	// touched item lives longer on the primary than on replicas (or vice
+	// versa for a shortened TTL), so a failover serves resurrected or
+	// prematurely-dead items — the replica TTL divergence bug.
+	ReplicateTouch(key string, exptime int64, mode ReplMode) error
+	// ReplicateFlush propagates a flush_all (with its optional delay).
+	// Without it replicas keep serving the entire flushed dataset after
+	// a failover.
+	ReplicateFlush(delay int64, mode ReplMode) error
 }

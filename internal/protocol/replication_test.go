@@ -12,6 +12,8 @@ import (
 type recordingReplicator struct {
 	sets    []replSet
 	deletes []replDel
+	touches []replTouchRec
+	flushes []replFlushRec
 	fail    error // returned from every call when non-nil
 }
 
@@ -28,6 +30,17 @@ type replDel struct {
 	mode ReplMode
 }
 
+type replTouchRec struct {
+	key     string
+	exptime int64
+	mode    ReplMode
+}
+
+type replFlushRec struct {
+	delay int64
+	mode  ReplMode
+}
+
 func (r *recordingReplicator) ReplicateSet(key string, value []byte, flags uint32, exptime int64, mode ReplMode) error {
 	if r.fail != nil {
 		return r.fail
@@ -41,6 +54,22 @@ func (r *recordingReplicator) ReplicateDelete(key string, mode ReplMode) error {
 		return r.fail
 	}
 	r.deletes = append(r.deletes, replDel{key, mode})
+	return nil
+}
+
+func (r *recordingReplicator) ReplicateTouch(key string, exptime int64, mode ReplMode) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.touches = append(r.touches, replTouchRec{key, exptime, mode})
+	return nil
+}
+
+func (r *recordingReplicator) ReplicateFlush(delay int64, mode ReplMode) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.flushes = append(r.flushes, replFlushRec{delay, mode})
 	return nil
 }
 

@@ -1,0 +1,6 @@
+//go:build !race
+
+package kv3d
+
+// See race_on_test.go.
+const raceEnabled = false

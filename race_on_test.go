@@ -1,0 +1,8 @@
+//go:build race
+
+package kv3d
+
+// raceEnabled mirrors the race-detector build tag for tests whose
+// contracts the instrumented runtime deliberately breaks (sync.Pool
+// drops a quarter of Puts under race to surface reuse races).
+const raceEnabled = true
